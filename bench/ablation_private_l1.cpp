@@ -1,0 +1,64 @@
+// Ablation A5 — shared vs per-cluster private L1. §3.4: "Typically, each
+// cluster in a processor would have its own private primary cache and
+// share the secondary cache. In our work, however, we wanted to avoid the
+// results being influenced by different memory hierarchies in different
+// processors. Consequently, we choose a shared primary cache." This bench
+// quantifies the choice: the private variant splits the 64 KB L1 across
+// clusters (write-invalidate coherence through the shared L2) and is run
+// against the shared baseline on every application.
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace csmt;
+  const unsigned scale = bench::scale_from_env();
+
+  for (const core::ArchKind arch :
+       {core::ArchKind::kFa8, core::ArchKind::kSmt2}) {
+    std::printf("== Ablation A5: shared vs private L1 on %s (low-end, "
+                "scale %u) ==\n",
+                core::arch_name(arch), scale);
+    AsciiTable t;
+    t.header({"workload", "shared L1 cycles", "private L1 cycles", "delta",
+              "shared L1 miss", "private L1 miss", "cross-invalidations"});
+    for (const std::string& w : bench::paper_workloads()) {
+      Cycle cycles[2];
+      double miss[2];
+      std::uint64_t xinval = 0;
+      for (const bool priv : {false, true}) {
+        sim::MachineConfig mc;
+        mc.arch = core::arch_preset(arch);
+        mc.mem.l1_private = priv;
+        sim::Machine machine(mc);
+        const auto wl = workloads::make_workload(w);
+        mem::PagedMemory memory;
+        const auto build = wl->build(memory, mc.total_threads(), scale);
+        const auto stats = machine.run(build.program, memory, build.args_base);
+        cycles[priv] = stats.cycles;
+        miss[priv] = stats.mem.l1_miss_rate;
+        if (priv) {
+          xinval = machine.chip(0).memsys().stats().l1_cross_invalidations;
+        }
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+      }
+      t.row({w, format_count(cycles[0]), format_count(cycles[1]),
+             format_percent(static_cast<double>(cycles[1]) /
+                                static_cast<double>(cycles[0]) -
+                            1.0),
+             format_percent(miss[0]), format_percent(miss[1]),
+             format_count(xinval)});
+    }
+    std::fprintf(stderr, "\n");
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf(
+      "Expectation: the private variant pays capacity misses (each cluster\n"
+      "keeps 1/clusters of the L1) and write-invalidate misses on shared\n"
+      "rows, costing a few percent — and, crucially for the paper's\n"
+      "methodology, the penalty differs *across architectures* (FA8 splits\n"
+      "8 ways, SMT2 only 2), which is exactly the cross-hierarchy\n"
+      "pollution the authors chose the shared L1 to avoid.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared plumbing for the figure/table bench binaries.
+//
+// Every bench prints (a) the paper-style normalized stacked-bar figure,
+// (b) a compact normalized table, and (c) a raw summary table. The problem
+// scale defaults to 4 (48..64-point grids — the paper's datasets shrunk to
+// simulator-friendly sizes, see DESIGN.md) and can be overridden with the
+// CSMT_SCALE environment variable for quick runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workloads/workload.hpp"
+
+namespace csmt::bench {
+
+inline unsigned scale_from_env(unsigned fallback = 4) {
+  if (const char* s = std::getenv("CSMT_SCALE")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return fallback;
+}
+
+/// Runs workloads x architectures on a machine with `chips` chips and
+/// returns the results in figure order (workload-major).
+inline std::vector<sim::ExperimentResult> run_grid(
+    const std::vector<std::string>& workloads,
+    const std::vector<core::ArchKind>& archs, unsigned chips,
+    unsigned scale) {
+  std::vector<sim::ExperimentResult> results;
+  for (const std::string& w : workloads) {
+    for (const core::ArchKind a : archs) {
+      sim::ExperimentSpec spec;
+      spec.workload = w;
+      spec.arch = a;
+      spec.chips = chips;
+      spec.scale = scale;
+      results.push_back(sim::run_experiment(spec));
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+  }
+  std::fprintf(stderr, "\n");
+  return results;
+}
+
+/// Standard three-part report for one figure.
+inline void print_figure(const std::string& title,
+                         const std::vector<sim::ExperimentResult>& results,
+                         const std::string& baseline) {
+  std::printf("%s", sim::render_figure(title, results, baseline).c_str());
+  std::printf("\nNormalized execution time (%s = 100):\n%s",
+              baseline.c_str(),
+              sim::render_normalized_table(results, baseline).c_str());
+  std::printf("\nRaw results:\n%s\n",
+              sim::render_summary_table(results).c_str());
+}
+
+inline std::vector<std::string> paper_workloads() {
+  return workloads::workload_names();
+}
+
+}  // namespace csmt::bench

@@ -1,0 +1,20 @@
+// Figure 4: FA processors vs the SMT2 clustered processor on the low-end
+// (single-chip) machine. Paper expectation: the FA bars form an
+// application-dependent U across FA8..FA1, and SMT2 takes the fewest
+// cycles for every application (~13% below the best FA on average).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace csmt;
+  const unsigned scale = bench::scale_from_env();
+  const auto results = bench::run_grid(
+      bench::paper_workloads(),
+      {core::ArchKind::kFa8, core::ArchKind::kFa4, core::ArchKind::kFa2,
+       core::ArchKind::kFa1, core::ArchKind::kSmt2},
+      /*chips=*/1, scale);
+  bench::print_figure(
+      "Figure 4: FA vs clustered SMT, low-end machine (scale " +
+          std::to_string(scale) + ")",
+      results, "FA8");
+  return 0;
+}

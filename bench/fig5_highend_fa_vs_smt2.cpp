@@ -1,0 +1,21 @@
+// Figure 5: FA processors vs the SMT2 clustered processor on the high-end
+// machine (4 chips over the DASH-like interconnect). Paper expectation:
+// the sweet spot of low-parallelism applications (swim/tomcatv/mgrid)
+// moves to wide-issue FA processors, vpenta/ocean stay with many-thread
+// FA, and SMT2 remains the lowest and most stable.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace csmt;
+  const unsigned scale = bench::scale_from_env();
+  const auto results = bench::run_grid(
+      bench::paper_workloads(),
+      {core::ArchKind::kFa8, core::ArchKind::kFa4, core::ArchKind::kFa2,
+       core::ArchKind::kFa1, core::ArchKind::kSmt2},
+      /*chips=*/4, scale);
+  bench::print_figure(
+      "Figure 5: FA vs clustered SMT, high-end machine (scale " +
+          std::to_string(scale) + ")",
+      results, "FA8");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 7: centralized vs clustered SMT processors on the low-end
+// machine, normalized to SMT8 (= FA8). Paper expectation: cycles decrease
+// from SMT8 to SMT1, SMT2 lands within 0-9% of the centralized SMT1, and
+// the fetch hazard grows toward SMT1 (unified-queue clogging).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace csmt;
+  const unsigned scale = bench::scale_from_env();
+  const auto results = bench::run_grid(
+      bench::paper_workloads(),
+      {core::ArchKind::kSmt8, core::ArchKind::kSmt4, core::ArchKind::kSmt2,
+       core::ArchKind::kSmt1},
+      /*chips=*/1, scale);
+  bench::print_figure(
+      "Figure 7: clustered vs centralized SMT, low-end machine (scale " +
+          std::to_string(scale) + ")",
+      results, "SMT8");
+  return 0;
+}

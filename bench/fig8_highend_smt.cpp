@@ -1,0 +1,20 @@
+// Figure 8: centralized vs clustered SMT processors on the high-end
+// machine, normalized to SMT8. The low-end conclusions carry over: SMT2 is
+// only slightly slower than SMT1 in cycles, and (per the paper's cycle-time
+// argument, see ablation_cycle_time) a much better design point.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace csmt;
+  const unsigned scale = bench::scale_from_env();
+  const auto results = bench::run_grid(
+      bench::paper_workloads(),
+      {core::ArchKind::kSmt8, core::ArchKind::kSmt4, core::ArchKind::kSmt2,
+       core::ArchKind::kSmt1},
+      /*chips=*/4, scale);
+  bench::print_figure(
+      "Figure 8: clustered vs centralized SMT, high-end machine (scale " +
+          std::to_string(scale) + ")",
+      results, "SMT8");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Simulator-throughput microbenchmarks (google-benchmark): how many
+// simulated cycles and dynamic instructions per wall-clock second the
+// components and the full machine sustain.
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hpp"
+#include "cache/backend.hpp"
+#include "cache/memsys.hpp"
+#include "exec/thread_group.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace csmt;
+
+void BM_Interpreter(benchmark::State& state) {
+  const auto wl = workloads::make_workload("swim");
+  std::uint64_t insts = 0;
+  for (auto _ : state) {
+    // Fresh memory per iteration: the kernel mutates its arrays.
+    mem::PagedMemory memory;
+    const auto build = wl->build(memory, 1, 1);
+    exec::ThreadGroup group(build.program, memory, 1, build.args_base);
+    exec::DynInst d;
+    while (group.thread(0).step(d)) ++insts;
+  }
+  state.counters["inst/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  branch::BranchPredictor bp;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    for (std::uint64_t pc = 0; pc < 4096; ++pc) {
+      benchmark::DoNotOptimize(bp.predict_and_update(pc, (pc & 3) != 0, pc + 1));
+    }
+    n += 4096;
+  }
+  state.counters["lookups/s"] =
+      benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::MemSysParams params;
+  cache::LocalMemoryBackend backend(params);
+  cache::MemSys memsys(0, params, backend);
+  Cycle now = 0;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < 1024; ++i) {
+      benchmark::DoNotOptimize(memsys.load((i % 64) * 64, now));
+      now += 2;
+    }
+    n += 1024;
+  }
+  state.counters["accesses/s"] =
+      benchmark::Counter(static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_FullMachine(benchmark::State& state) {
+  const auto arch = static_cast<core::ArchKind>(state.range(0));
+  std::uint64_t cycles = 0, insts = 0;
+  for (auto _ : state) {
+    sim::MachineConfig mc;
+    mc.arch = core::arch_preset(arch);
+    sim::Machine machine(mc);
+    const auto wl = workloads::make_workload("swim");
+    mem::PagedMemory memory;
+    const auto build = wl->build(memory, mc.total_threads(), 2);
+    const auto stats = machine.run(build.program, memory, build.args_base);
+    cycles += stats.cycles;
+    insts += stats.committed_useful + stats.committed_sync;
+  }
+  state.counters["sim-cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["sim-inst/s"] =
+      benchmark::Counter(static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullMachine)
+    ->Arg(static_cast<int>(core::ArchKind::kFa8))
+    ->Arg(static_cast<int>(core::ArchKind::kSmt2))
+    ->Arg(static_cast<int>(core::ArchKind::kSmt1));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Table 1: functional-unit latencies. For every latency-bearing opcode we
+// run two dependent chains of different lengths on a conventional
+// superscalar (FA1, one thread) and recover the per-operation latency from
+// the cycle difference — measured values must match Table 1 exactly:
+//   int add/sub/logic/shift 1, mul 2, div 8;  load 2, store 1;
+//   fpadd 1, fpmult 2, fpdiv 4 (single) / 7 (double).
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace csmt;
+
+/// Builds a program whose core is `n` back-to-back dependent ops of `op`.
+isa::Program chain_program(isa::Op op, unsigned n) {
+  isa::ProgramBuilder b("chain");
+  isa::Reg r = b.ireg();
+  isa::Reg addr = b.ireg();
+  isa::Freg f = b.freg();
+  isa::Freg g = b.freg();
+  b.li(addr, 4096);
+  b.li(r, 1);
+  b.fld(f, addr, 0);
+  b.fld(g, addr, 8);
+  for (unsigned i = 0; i < n; ++i) {
+    switch (op) {
+      case isa::Op::kAdd: b.add(r, r, r); break;
+      case isa::Op::kMul: b.mul(r, r, r); break;
+      case isa::Op::kDiv: b.div(r, r, r); break;
+      case isa::Op::kLd: b.ld(addr, addr, 0); break;  // pointer chase
+      case isa::Op::kSt: b.st(addr, 0, r); break;     // independent stores
+      case isa::Op::kFadd: b.fadd(f, f, g); break;
+      case isa::Op::kFmul: b.fmul(f, f, g); break;
+      case isa::Op::kFdivS: b.fdiv_s(f, f, g); break;
+      case isa::Op::kFdivD: b.fdiv_d(f, f, g); break;
+      default: b.nop(); break;
+    }
+  }
+  b.halt();
+  return b.take();
+}
+
+Cycle run_cycles(const isa::Program& p, mem::PagedMemory& memory) {
+  sim::MachineConfig mc;
+  mc.arch = core::arch_preset(core::ArchKind::kFa1);
+  sim::Machine m(mc);
+  return m.run(p, memory, 0).cycles;
+}
+
+double measure(isa::Op op) {
+  constexpr unsigned kShort = 200, kLong = 1200;
+  mem::PagedMemory mem_a;
+  // The load chain chases a self-pointer: mem[4096] = 4096.
+  mem_a.write(4096, 4096);
+  const Cycle a = run_cycles(chain_program(op, kShort), mem_a);
+  mem::PagedMemory mem_b;
+  mem_b.write(4096, 4096);
+  const Cycle b = run_cycles(chain_program(op, kLong), mem_b);
+  return static_cast<double>(b - a) / (kLong - kShort);
+}
+
+}  // namespace
+
+int main() {
+  using namespace csmt;
+  std::printf("== Table 1: functional-unit latencies (measured on FA1) ==\n");
+  struct Row {
+    const char* name;
+    isa::Op op;
+    double expected;
+    bool chain;  ///< dependent chain (latency) vs independent (throughput)
+  };
+  const Row rows[] = {
+      {"add/sub/log/shift", isa::Op::kAdd, 1, true},
+      {"mul", isa::Op::kMul, 2, true},
+      {"div", isa::Op::kDiv, 8, true},
+      {"load (L1 hit)", isa::Op::kLd, 2, true},
+      {"store", isa::Op::kSt, 1, false},
+      {"fpadd", isa::Op::kFadd, 1, true},
+      {"fpmult", isa::Op::kFmul, 2, true},
+      {"fpdiv (single)", isa::Op::kFdivS, 4, true},
+      {"fpdiv (double)", isa::Op::kFdivD, 7, true},
+  };
+  AsciiTable t;
+  t.header({"operation", "Table 1", "measured", "match"});
+  bool all_ok = true;
+  for (const Row& r : rows) {
+    const double got = measure(r.op);
+    // Dependent chains measure latency exactly; the store row measures
+    // sustained occupancy (>= 1 store/cycle through the 4 ld/st units is
+    // impossible with a 4-wide chip issue including loop overhead, so we
+    // check the dependent rows strictly and the store row loosely).
+    const bool ok = r.chain ? std::abs(got - r.expected) < 0.05
+                            : got <= r.expected + 0.05;
+    all_ok = all_ok && ok;
+    t.row({r.name, format_fixed(r.expected, 0), format_fixed(got, 2),
+           ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n%s\n", t.render().c_str(),
+              all_ok ? "All functional-unit latencies match Table 1."
+                     : "MISMATCH against Table 1!");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// High-end scaling: run one application on 1, 2 and 4 chips (the 4-chip
+// point is the paper's high-end machine) and report speedups and how the
+// hazard mix shifts — more sync and remote-memory waste as chips are
+// added, the effect §5.1 discusses.
+//
+//   ./highend_scaling [workload] [arch] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "csmt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csmt;
+
+  const std::string workload = argc > 1 ? argv[1] : "ocean";
+  core::ArchKind arch = core::ArchKind::kSmt2;
+  if (argc > 2) {
+    for (const core::ArchKind k :
+         {core::ArchKind::kFa8, core::ArchKind::kFa4, core::ArchKind::kFa2,
+          core::ArchKind::kFa1, core::ArchKind::kSmt4, core::ArchKind::kSmt2,
+          core::ArchKind::kSmt1}) {
+      if (std::strcmp(core::arch_name(k), argv[2]) == 0) arch = k;
+    }
+  }
+  const unsigned scale = argc > 3 ? static_cast<unsigned>(atoi(argv[3])) : 4;
+
+  std::printf("High-end scaling: %s on %s, scale %u\n\n", workload.c_str(),
+              core::arch_name(arch), scale);
+
+  AsciiTable t;
+  t.header({"chips", "threads", "cycles", "speedup", "useful%", "sync%",
+            "memory%", "remote fetches", "valid"});
+  double base = 0.0;
+  for (const unsigned chips : {1u, 2u, 4u}) {
+    sim::ExperimentSpec spec;
+    spec.workload = workload;
+    spec.arch = arch;
+    spec.chips = chips;
+    spec.scale = scale;
+    const auto r = sim::run_experiment(spec);
+    if (chips == 1) base = static_cast<double>(r.stats.cycles);
+    t.row({std::to_string(chips),
+           std::to_string(chips * core::arch_preset(arch).threads_per_chip()),
+           format_count(r.stats.cycles),
+           format_fixed(base / static_cast<double>(r.stats.cycles), 2) + "x",
+           format_percent(r.stats.slots.fraction(core::Slot::kUseful)),
+           format_percent(r.stats.slots.fraction(core::Slot::kSync)),
+           format_percent(r.stats.slots.fraction(core::Slot::kMemory)),
+           r.stats.dash ? format_count(r.stats.dash->remote_fetches) : "-",
+           r.validated ? "yes" : "NO"});
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

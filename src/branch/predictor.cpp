@@ -1,0 +1,59 @@
+#include "branch/predictor.hpp"
+
+#include "common/assert.hpp"
+
+namespace csmt::branch {
+
+BranchPredictor::BranchPredictor(std::size_t entries, std::size_t btb_entries)
+    : counters_(entries, 2 /* weakly taken */),
+      btb_(btb_entries),
+      mask_(entries - 1),
+      btb_mask_(btb_entries - 1) {
+  CSMT_ASSERT_MSG((entries & mask_) == 0 && entries > 0,
+                  "predictor entries must be a power of two");
+  CSMT_ASSERT_MSG((btb_entries & btb_mask_) == 0 && btb_entries > 0,
+                  "BTB entries must be a power of two");
+}
+
+bool BranchPredictor::peek_direction(std::uint64_t pc) const {
+  return counters_[pc & mask_] >= 2;
+}
+
+bool BranchPredictor::predict_and_update(std::uint64_t pc, bool actual_taken,
+                                         std::uint64_t actual_target) {
+  ++stats_.cond_lookups;
+
+  std::uint8_t& ctr = counters_[pc & mask_];
+  const bool predicted_taken = ctr >= 2;
+
+  bool correct = predicted_taken == actual_taken;
+  if (correct && actual_taken) {
+    // Direction right; the fetch unit still needs the target from the BTB.
+    BtbEntry& e = btb_[pc & btb_mask_];
+    if (e.tag != pc || e.target != actual_target) {
+      correct = false;
+      ++stats_.btb_misses;
+    }
+  }
+  if (!correct && predicted_taken == actual_taken) {
+    // BTB-only miss: counted above, not as a direction mispredict.
+  } else if (!correct) {
+    ++stats_.cond_mispredicts;
+  }
+
+  // 2-bit saturating counter update.
+  if (actual_taken) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+  // Allocate/refresh the BTB entry for taken branches.
+  if (actual_taken) {
+    BtbEntry& e = btb_[pc & btb_mask_];
+    e.tag = pc;
+    e.target = actual_target;
+  }
+  return correct;
+}
+
+}  // namespace csmt::branch

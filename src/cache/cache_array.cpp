@@ -1,0 +1,104 @@
+#include "cache/cache_array.hpp"
+
+namespace csmt::cache {
+
+const char* service_level_name(ServiceLevel lvl) {
+  switch (lvl) {
+    case ServiceLevel::kL1: return "L1";
+    case ServiceLevel::kL2: return "L2";
+    case ServiceLevel::kLocalMemory: return "local-mem";
+    case ServiceLevel::kRemoteMemory: return "remote-mem";
+    case ServiceLevel::kRemoteL2: return "remote-L2";
+    case ServiceLevel::kMergedMshr: return "mshr-merge";
+  }
+  return "?";
+}
+
+CacheArray::CacheArray(const CacheLevelParams& p)
+    : params_(p), sets_(p.num_sets()), lines_(sets_ * p.assoc) {
+  CSMT_ASSERT_MSG(sets_ > 0 && (p.size_bytes % (p.line_bytes * p.assoc)) == 0,
+                  "cache geometry must divide evenly");
+}
+
+CacheLine* CacheArray::probe(Addr addr) {
+  const std::size_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  CacheLine* base = &lines_[set * params_.assoc];
+  for (std::size_t w = 0; w < params_.assoc; ++w) {
+    if (base[w].valid() && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+CacheLine* CacheArray::lookup(Addr addr) {
+  CacheLine* line = probe(addr);
+  if (line) {
+    line->lru = ++lru_clock_;
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return line;
+}
+
+CacheArray::Eviction CacheArray::insert(Addr addr, LineState state,
+                                        bool dirty) {
+  const std::size_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  CacheLine* base = &lines_[set * params_.assoc];
+
+  // Re-insert over an existing copy if present (state upgrade).
+  CacheLine* victim = nullptr;
+  for (std::size_t w = 0; w < params_.assoc; ++w) {
+    if (base[w].valid() && base[w].tag == tag) {
+      base[w].state = state;
+      base[w].dirty = base[w].dirty || dirty;
+      base[w].lru = ++lru_clock_;
+      return {};
+    }
+    if (!base[w].valid()) {
+      victim = &base[w];
+    }
+  }
+  if (!victim) {
+    victim = base;
+    for (std::size_t w = 1; w < params_.assoc; ++w)
+      if (base[w].lru < victim->lru) victim = &base[w];
+  }
+
+  Eviction ev;
+  if (victim->valid()) {
+    ev.valid = true;
+    ev.dirty = victim->dirty;
+    ev.state = victim->state;
+    ev.line_addr = rebuild_addr(victim->tag, set);
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+  }
+  victim->tag = tag;
+  victim->state = state;
+  victim->dirty = dirty;
+  victim->lru = ++lru_clock_;
+  return ev;
+}
+
+bool CacheArray::invalidate(Addr addr, bool* was_dirty) {
+  CacheLine* line = probe(addr);
+  if (!line) return false;
+  if (was_dirty) *was_dirty = line->dirty;
+  line->state = LineState::kInvalid;
+  line->dirty = false;
+  ++stats_.invalidations;
+  return true;
+}
+
+bool CacheArray::downgrade(Addr addr, bool* was_dirty) {
+  CacheLine* line = probe(addr);
+  if (!line) return false;
+  if (was_dirty) *was_dirty = line->dirty;
+  line->state = LineState::kShared;
+  line->dirty = false;
+  return true;
+}
+
+}  // namespace csmt::cache

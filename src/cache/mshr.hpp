@@ -1,0 +1,81 @@
+// Miss-status holding registers: bound the number of outstanding load
+// misses per chip (paper: 32) and merge secondary misses to the same line.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace csmt::cache {
+
+struct MshrStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t full_rejections = 0;
+};
+
+class MshrFile {
+ public:
+  explicit MshrFile(unsigned entries) : entries_(entries) {}
+
+  /// Retires entries whose data has arrived.
+  void expire(Cycle now) {
+    for (auto& e : slots_) {
+      if (e.valid && e.ready <= now) e.valid = false;
+    }
+  }
+
+  /// Returns the ready cycle of an outstanding miss on `line_addr`, or
+  /// kNeverCycle if none is outstanding.
+  Cycle outstanding(Addr line_addr) const {
+    for (const auto& e : slots_) {
+      if (e.valid && e.line == line_addr) return e.ready;
+    }
+    return kNeverCycle;
+  }
+
+  /// Records a merge with an existing entry (statistics only).
+  void note_merge() { ++stats_.merges; }
+
+  bool full() const {
+    unsigned used = 0;
+    for (const auto& e : slots_) used += e.valid ? 1 : 0;
+    return used >= entries_;
+  }
+
+  /// Allocates an entry; the caller must have checked !full().
+  void allocate(Addr line_addr, Cycle ready) {
+    for (auto& e : slots_) {
+      if (!e.valid) {
+        e = {line_addr, ready, true};
+        ++stats_.allocations;
+        return;
+      }
+    }
+    slots_.push_back({line_addr, ready, true});
+    ++stats_.allocations;
+  }
+
+  void note_full_rejection() { ++stats_.full_rejections; }
+
+  unsigned in_flight() const {
+    unsigned used = 0;
+    for (const auto& e : slots_) used += e.valid ? 1 : 0;
+    return used;
+  }
+
+  const MshrStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Addr line = 0;
+    Cycle ready = 0;
+    bool valid = false;
+  };
+  unsigned entries_;
+  std::vector<Entry> slots_;
+  MshrStats stats_;
+};
+
+}  // namespace csmt::cache

@@ -1,0 +1,66 @@
+// 512-entry fully associative TLB with random replacement, shared by all
+// threads of a chip (paper §3.4). The simulator's address space is flat, so
+// the TLB only models the *timing* of translation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mem/paged_memory.hpp"
+
+namespace csmt::cache {
+
+struct TlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double miss_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(misses) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class Tlb {
+ public:
+  explicit Tlb(unsigned entries = 512, std::uint64_t seed = 0x7165)
+      : capacity_(entries), rng_(seed) {
+    slots_.reserve(entries);
+  }
+
+  /// Translates the page of `addr`. Returns true on a hit; on a miss the
+  /// translation is installed (evicting a random entry when full) and false
+  /// is returned — the caller charges the refill penalty.
+  bool access(Addr addr) {
+    const Addr page = mem::page_of(addr);
+    if (resident_.contains(page)) {
+      ++stats_.hits;
+      return true;
+    }
+    ++stats_.misses;
+    if (slots_.size() < capacity_) {
+      slots_.push_back(page);
+    } else {
+      const std::uint32_t victim = rng_.below(capacity_);
+      resident_.erase(slots_[victim]);
+      slots_[victim] = page;
+    }
+    resident_.insert(page);
+    return false;
+  }
+
+  const TlbStats& stats() const { return stats_; }
+  std::size_t resident() const { return resident_.size(); }
+
+ private:
+  unsigned capacity_;
+  Rng rng_;
+  std::vector<Addr> slots_;
+  std::unordered_set<Addr> resident_;
+  TlbStats stats_;
+};
+
+}  // namespace csmt::cache

@@ -1,0 +1,29 @@
+// Always-on invariant checks. A cycle-accurate simulator is only as
+// trustworthy as its internal invariants, so these fire in release builds too.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace csmt::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "csmt invariant violated: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace csmt::detail
+
+#define CSMT_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::csmt::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define CSMT_ASSERT_MSG(expr, msg)                                  \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::csmt::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

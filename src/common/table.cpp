@@ -1,0 +1,92 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace csmt {
+
+void AsciiTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void AsciiTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  // Compute column widths over header + rows.
+  std::vector<std::size_t> width;
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&width](std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out += c;
+      if (i + 1 < width.size()) out.append(width[i] - c.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit(out, header_);
+    std::size_t rule = 0;
+    for (std::size_t i = 0; i < width.size(); ++i)
+      rule += width[i] + (i + 1 < width.size() ? 2 : 0);
+    out.append(rule, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(out, r);
+  return out;
+}
+
+StackedBarChart::StackedBarChart(std::vector<std::string> segment_names,
+                                 double unit_width)
+    : names_(std::move(segment_names)), unit_width_(unit_width) {}
+
+void StackedBarChart::add(StackedBar bar) { bars_.push_back(std::move(bar)); }
+
+std::string StackedBarChart::render() const {
+  // Each segment gets a distinct glyph, cycled if there are many segments.
+  static const char kGlyphs[] = "#=+:%o*.~^";
+  const std::size_t nglyphs = sizeof(kGlyphs) - 1;
+
+  std::size_t label_w = 0;
+  for (const auto& b : bars_) label_w = std::max(label_w, b.label.size());
+
+  std::string out;
+  out += "legend: ";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    out += kGlyphs[i % nglyphs];
+    out += '=';
+    out += names_[i];
+    if (i + 1 < names_.size()) out += "  ";
+  }
+  out += '\n';
+
+  for (const auto& b : bars_) {
+    out += b.label;
+    out.append(label_w - b.label.size() + 2, ' ');
+    out += '|';
+    double total = 0.0;
+    for (std::size_t i = 0; i < b.segments.size(); ++i) {
+      total += b.segments[i];
+      const auto cells = static_cast<std::size_t>(
+          b.segments[i] / unit_width_ + 0.5);
+      out.append(cells, kGlyphs[i % nglyphs]);
+    }
+    out += "| ";
+    out += format_fixed(total, 1);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace csmt

@@ -1,0 +1,54 @@
+// ASCII rendering of tables and stacked-bar charts. The bench binaries use
+// these to print the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csmt {
+
+/// Column-aligned ASCII table. First added row may be marked as the header.
+class AsciiTable {
+ public:
+  /// Sets the header row (printed with a separator rule beneath it).
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table; every column is padded to its widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One bar of a stacked horizontal bar chart: a label plus named segments.
+/// Used to render the paper's Figures 4/5/7/8 (normalized execution time
+/// broken down into hazard categories).
+struct StackedBar {
+  std::string label;
+  /// Segment values in chart units (e.g. normalized cycles). Segment names
+  /// come from the chart, so all bars share one legend.
+  std::vector<double> segments;
+};
+
+class StackedBarChart {
+ public:
+  /// `segment_names` is the shared legend (e.g. hazard categories);
+  /// `unit_width` is how many chart units one character cell represents.
+  StackedBarChart(std::vector<std::string> segment_names, double unit_width);
+
+  void add(StackedBar bar);
+
+  /// Renders bars as rows of segment glyphs with a legend and per-bar total.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<StackedBar> bars_;
+  double unit_width_;
+};
+
+}  // namespace csmt

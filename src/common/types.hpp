@@ -1,0 +1,37 @@
+// Fundamental scalar types shared by every csmt module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace csmt {
+
+/// Simulated time, in processor cycles. All modules share one global clock;
+/// the paper's charts are expressed in cycles assuming equal clock rates.
+using Cycle = std::uint64_t;
+
+/// Simulated virtual/physical address (the simulator uses a flat space,
+/// so virtual == physical modulo TLB bookkeeping).
+using Addr = std::uint64_t;
+
+/// Hardware thread (context) identifier, global across the machine.
+using ThreadId = std::uint32_t;
+
+/// Chip index within a (possibly multi-chip) machine.
+using ChipId = std::uint32_t;
+
+/// Cluster index within a chip.
+using ClusterId = std::uint32_t;
+
+/// Sentinel for "no cycle scheduled yet" / "never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel address.
+inline constexpr Addr kNullAddr = 0;
+
+/// Bytes per simulated machine word. The functional memory is word-granular;
+/// the ISA is a 64-bit word machine (loads/stores move 8 bytes).
+inline constexpr std::size_t kWordBytes = 8;
+
+}  // namespace csmt

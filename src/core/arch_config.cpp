@@ -1,0 +1,69 @@
+#include "core/arch_config.hpp"
+
+#include "common/assert.hpp"
+
+namespace csmt::core {
+namespace {
+
+// One Table 2 row: `clusters` x (`width`-issue, `threads`-thread) clusters.
+// Per-cluster FU mix, window entries, and rename registers follow the table;
+// chip totals are clusters x per-cluster.
+ArchConfig row(const char* name, unsigned clusters, unsigned width,
+               unsigned threads, unsigned iu, unsigned lsu, unsigned fpu,
+               unsigned window, unsigned rename) {
+  ArchConfig cfg;
+  cfg.name = name;
+  cfg.clusters = clusters;
+  cfg.cluster = {width, threads, iu, lsu, fpu, window, window, rename, rename};
+  return cfg;
+}
+
+}  // namespace
+
+ArchConfig arch_preset(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kFa8:
+      return row("FA8", 8, 1, 1, 1, 1, 1, 16, 16);
+    case ArchKind::kFa4:
+      return row("FA4", 4, 2, 1, 2, 2, 2, 32, 32);
+    case ArchKind::kFa2:
+      return row("FA2", 2, 4, 1, 4, 4, 4, 64, 64);
+    case ArchKind::kFa1:
+      return row("FA1", 1, 8, 1, 6, 4, 4, 128, 128);
+    case ArchKind::kSmt4:
+      return row("SMT4", 4, 2, 2, 2, 2, 2, 32, 32);
+    case ArchKind::kSmt2:
+      return row("SMT2", 2, 4, 4, 4, 4, 4, 64, 64);
+    case ArchKind::kSmt1:
+      return row("SMT1", 1, 8, 8, 6, 4, 4, 128, 128);
+    case ArchKind::kSmt8:
+      // SMT8 is the paper's name for FA8 when used as the SMT baseline.
+      return row("SMT8", 8, 1, 1, 1, 1, 1, 16, 16);
+  }
+  CSMT_ASSERT_MSG(false, "unknown ArchKind");
+  return {};
+}
+
+std::vector<ArchKind> fa_kinds() {
+  return {ArchKind::kFa8, ArchKind::kFa4, ArchKind::kFa2, ArchKind::kFa1};
+}
+
+std::vector<ArchKind> smt_kinds() {
+  return {ArchKind::kSmt8, ArchKind::kSmt4, ArchKind::kSmt2, ArchKind::kSmt1};
+}
+
+const char* arch_name(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kFa8: return "FA8";
+    case ArchKind::kFa4: return "FA4";
+    case ArchKind::kFa2: return "FA2";
+    case ArchKind::kFa1: return "FA1";
+    case ArchKind::kSmt4: return "SMT4";
+    case ArchKind::kSmt2: return "SMT2";
+    case ArchKind::kSmt1: return "SMT1";
+    case ArchKind::kSmt8: return "SMT8";
+  }
+  return "?";
+}
+
+}  // namespace csmt::core

@@ -1,0 +1,65 @@
+#include "core/chip.hpp"
+
+#include "common/assert.hpp"
+
+namespace csmt::core {
+
+Chip::Chip(ChipId id, const ArchConfig& cfg,
+           const cache::MemSysParams& mem_params,
+           cache::MemoryBackend& backend)
+    : id_(id),
+      cfg_(cfg),
+      memsys_(id, mem_params, backend,
+              mem_params.l1_private ? cfg.clusters : 1) {
+  clusters_.reserve(cfg.clusters);
+  for (unsigned c = 0; c < cfg.clusters; ++c) {
+    clusters_.push_back(std::make_unique<Cluster>(
+        static_cast<ClusterId>(c), cfg.cluster, cfg.fetch_policy, memsys_));
+  }
+}
+
+void Chip::attach_thread(exec::ThreadContext* tc) {
+  for (auto& cl : clusters_) {
+    if (cl->attached_threads() < cfg_.cluster.threads) {
+      cl->attach_thread(tc);
+      return;
+    }
+  }
+  CSMT_ASSERT_MSG(false, "chip hardware contexts exhausted");
+}
+
+void Chip::tick(Cycle now) {
+  for (auto& cl : clusters_) cl->tick(now);
+}
+
+bool Chip::finished() const {
+  for (const auto& cl : clusters_) {
+    if (!cl->finished()) return false;
+  }
+  return true;
+}
+
+unsigned Chip::running_threads() const {
+  unsigned n = 0;
+  for (const auto& cl : clusters_) n += cl->running_threads();
+  return n;
+}
+
+ChipStats Chip::stats() const {
+  ChipStats s;
+  for (const auto& cl : clusters_) {
+    const ClusterStats& c = cl->stats();
+    s.slots.merge(c.slots);
+    s.committed_useful += c.committed_useful;
+    s.committed_sync += c.committed_sync;
+    s.fetched += c.fetched;
+    s.mem_rejections += c.mem_rejections;
+    const branch::PredictorStats& p = cl->predictor_stats();
+    s.predictor.cond_lookups += p.cond_lookups;
+    s.predictor.cond_mispredicts += p.cond_mispredicts;
+    s.predictor.btb_misses += p.btb_misses;
+  }
+  return s;
+}
+
+}  // namespace csmt::core

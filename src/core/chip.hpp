@@ -1,0 +1,61 @@
+// Chip: one processor die — a set of identical SMT clusters sharing a
+// memory hierarchy (shared L1/L2/TLB per §3.4, chosen by the paper so that
+// memory-hierarchy differences do not pollute the architecture comparison).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/memsys.hpp"
+#include "core/arch_config.hpp"
+#include "core/cluster.hpp"
+
+namespace csmt::core {
+
+struct ChipStats {
+  SlotStats slots;
+  std::uint64_t committed_useful = 0;
+  std::uint64_t committed_sync = 0;
+  std::uint64_t fetched = 0;
+  std::uint64_t mem_rejections = 0;
+  branch::PredictorStats predictor;
+};
+
+class Chip {
+ public:
+  Chip(ChipId id, const ArchConfig& cfg, const cache::MemSysParams& mem_params,
+       cache::MemoryBackend& backend);
+
+  /// Binds a thread to the next cluster with a free hardware context.
+  /// Threads are block-assigned: contexts of cluster 0 fill first.
+  void attach_thread(exec::ThreadContext* tc);
+
+  /// Advances every cluster by one cycle.
+  void tick(Cycle now);
+
+  bool finished() const;
+
+  /// Threads running for the Figure 6 metric (not halted, not spinning).
+  unsigned running_threads() const;
+
+  ChipId id() const { return id_; }
+  const ArchConfig& config() const { return cfg_; }
+  cache::MemSys& memsys() { return memsys_; }
+  const cache::MemSys& memsys() const { return memsys_; }
+  unsigned num_clusters() const {
+    return static_cast<unsigned>(clusters_.size());
+  }
+  Cluster& cluster(unsigned i) { return *clusters_[i]; }
+  const Cluster& cluster(unsigned i) const { return *clusters_[i]; }
+
+  /// Aggregates per-cluster statistics.
+  ChipStats stats() const;
+
+ private:
+  ChipId id_;
+  ArchConfig cfg_;
+  cache::MemSys memsys_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+};
+
+}  // namespace csmt::core

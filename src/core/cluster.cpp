@@ -1,0 +1,435 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace csmt::core {
+
+Cluster::Cluster(ClusterId id, const ClusterConfig& cfg, FetchPolicy policy,
+                 cache::MemSys& memsys)
+    : id_(id), cfg_(cfg), policy_(policy), memsys_(memsys), predictor_() {
+  CSMT_ASSERT(cfg.width > 0 && cfg.threads > 0 && cfg.rob_entries > 0);
+  CSMT_ASSERT_MSG(cfg.rob_entries < kNoUop, "ROB too large for slot indices");
+  slots_.resize(cfg.rob_entries);
+  free_slots_.reserve(cfg.rob_entries);
+  for (std::uint16_t i = cfg.rob_entries; i-- > 0;) free_slots_.push_back(i);
+  iq_.reserve(cfg.iq_entries);
+  threads_.reserve(cfg.threads);
+}
+
+void Cluster::attach_thread(exec::ThreadContext* tc) {
+  CSMT_ASSERT(tc != nullptr);
+  CSMT_ASSERT_MSG(threads_.size() < cfg_.threads,
+                  "cluster hardware contexts exhausted");
+  ThreadSlot slot;
+  slot.tc = tc;
+  threads_.push_back(std::move(slot));
+}
+
+std::uint16_t Cluster::alloc_slot() {
+  CSMT_ASSERT(!free_slots_.empty());
+  const std::uint16_t idx = free_slots_.back();
+  free_slots_.pop_back();
+  Uop& u = slots_[idx];
+  ++u.gen;  // invalidate stale references from the previous occupant
+  u.live = true;
+  u.issued = false;
+  u.mispredicted = false;
+  u.complete_at = kNeverCycle;
+  return idx;
+}
+
+void Cluster::free_slot(std::uint16_t idx) {
+  slots_[idx].live = false;
+  free_slots_.push_back(idx);
+}
+
+bool Cluster::src_ready(const SrcDep& dep, Cycle now, Slot* hazard) const {
+  if (dep.producer == kNoUop) return true;
+  const Uop& p = slots_[dep.producer];
+  // A dead or recycled slot means the producer already committed.
+  if (!p.live || p.gen != dep.gen) return true;
+  if (p.issued && p.complete_at <= now) return true;
+  *hazard = dep.producer_is_load ? Slot::kMemory : Slot::kData;
+  return false;
+}
+
+bool Cluster::mispredict_blocked(const ThreadSlot& t, Cycle now) const {
+  if (t.blocked_on == kNoUop) return false;
+  const Uop& u = slots_[t.blocked_on];
+  if (!u.live || u.gen != t.blocked_gen) return false;  // committed
+  // The branch resolves at complete_at; the redirect consumes one more
+  // cycle, so fetching resumes strictly after resolution.
+  return !(u.issued && u.complete_at < now);
+}
+
+bool Cluster::has_dispatch_room(const ThreadSlot& t) const {
+  if (free_slots_.empty() || iq_.size() >= cfg_.iq_entries) return false;
+  const isa::Inst& next = t.tc->peek();
+  const isa::OpInfo& oi = next.info();
+  if (oi.writes_int && next.rd != isa::kRegZero &&
+      int_rename_used_ >= cfg_.int_rename)
+    return false;
+  if (oi.writes_fp && fp_rename_used_ >= cfg_.fp_rename) return false;
+  return true;
+}
+
+bool Cluster::sync_waiting(const ThreadSlot& t, Cycle now) const {
+  return t.tc && (t.tc->sync_blocked() || now < t.wake_at);
+}
+
+bool Cluster::fetchable(const ThreadSlot& t, Cycle now) const {
+  return t.tc && !t.tc->done() && !sync_waiting(t, now) &&
+         !mispredict_blocked(t, now) && has_dispatch_room(t);
+}
+
+void Cluster::tick(Cycle now) {
+  commit(now);
+  issue(now);
+  fetch(now);
+  account(now);
+  ++stats_.cycles;
+}
+
+void Cluster::commit(Cycle now) {
+  if (threads_.empty()) return;
+  const unsigned n = static_cast<unsigned>(threads_.size());
+  unsigned budget = cfg_.width;
+  const unsigned start = commit_rr_++ % n;
+  for (unsigned k = 0; k < n && budget > 0; ++k) {
+    ThreadSlot& t = threads_[(start + k) % n];
+    while (budget > 0 && !t.rob.empty()) {
+      const std::uint16_t idx = t.rob.front();
+      Uop& u = slots_[idx];
+      if (!u.issued || u.complete_at > now) break;
+      if (u.holds_int_rename) --int_rename_used_;
+      if (u.holds_fp_rename) --fp_rename_used_;
+      if (u.dyn.sync_tagged()) {
+        ++stats_.committed_sync;
+      } else {
+        ++stats_.committed_useful;
+      }
+      t.rob.pop_front();
+      --t.window_count;
+      free_slot(idx);
+      --budget;
+    }
+  }
+}
+
+void Cluster::issue(Cycle now) {
+  for (double& h : cycle_hist_) h = 0.0;
+  issued_useful_ = 0;
+  issued_sync_ = 0;
+  dispatch_stalled_ = false;
+
+  unsigned fu_used[3] = {0, 0, 0};  // kInt, kLdSt, kFp
+  const unsigned fu_limit[3] = {cfg_.int_units, cfg_.ldst_units,
+                                cfg_.fp_units};
+  unsigned width_used = 0;
+
+  std::vector<std::uint16_t> waiting;
+  waiting.reserve(iq_.size());
+
+  for (const std::uint16_t idx : iq_) {
+    Uop& u = slots_[idx];
+    const isa::OpInfo& oi = u.dyn.info();
+    const bool sync = u.dyn.sync_tagged();
+    auto stall = [&](Slot s) {
+      cycle_hist_[static_cast<std::size_t>(sync ? Slot::kSync : s)] += 1.0;
+      waiting.push_back(idx);
+    };
+
+    // Operand readiness (the paper's data/memory hazards).
+    Slot hz = Slot::kData;
+    if (!src_ready(u.src[0], now, &hz) || !src_ready(u.src[1], now, &hz)) {
+      stall(hz);
+      continue;
+    }
+    // Issue bandwidth and functional units (structural hazards).
+    if (width_used >= cfg_.width) {
+      stall(Slot::kStructural);
+      continue;
+    }
+    if (oi.fu != isa::FuClass::kNone) {
+      const auto fc = static_cast<std::size_t>(oi.fu);
+      if (fu_used[fc] >= fu_limit[fc]) {
+        stall(Slot::kStructural);
+        continue;
+      }
+      // Memory ops must additionally be accepted by the hierarchy (free
+      // bank, free MSHR) — rejection is the paper's memory hazard.
+      if (oi.is_load || oi.is_store) {
+        const Cycle arrival = now + 1;
+        const Addr addr = u.dyn.mem_addr +
+                          threads_[u.hw_thread].tc->timing_addr_offset();
+        cache::AccessResult r;
+        if (oi.is_atomic) {
+          r = memsys_.atomic(addr, arrival, id_);
+        } else if (oi.is_store) {
+          r = memsys_.store(addr, arrival, id_);
+        } else {
+          r = memsys_.load(addr, arrival, id_);
+        }
+        if (!r.accepted) {
+          ++stats_.mem_rejections;
+          stall(Slot::kMemory);
+          continue;
+        }
+        u.complete_at =
+            oi.is_store && !oi.is_atomic ? now + oi.latency : r.done;
+      } else {
+        u.complete_at = now + oi.latency;
+      }
+      ++fu_used[fc];
+    } else {
+      u.complete_at = now + oi.latency;
+    }
+
+    u.issued = true;
+    ++width_used;
+    ++stats_.issued;
+    if (sync) {
+      ++issued_sync_;
+    } else {
+      ++issued_useful_;
+    }
+  }
+  iq_ = std::move(waiting);
+}
+
+void Cluster::fetch(Cycle now) {
+  if (threads_.empty()) return;
+  const unsigned n = static_cast<unsigned>(threads_.size());
+
+  // Clear expired mispredict blocks; track sync wakeups (a woken thread
+  // pays sync_wake_latency — the re-read of the sync line — before its
+  // first fetch).
+  for (ThreadSlot& t : threads_) {
+    if (t.blocked_on != kNoUop && !mispredict_blocked(t, now)) {
+      t.blocked_on = kNoUop;
+      t.blocked_sync = false;
+    }
+    if (!t.tc) continue;
+    if (t.tc->sync_blocked()) {
+      t.was_sync_blocked = true;
+    } else if (t.was_sync_blocked) {
+      t.was_sync_blocked = false;
+      t.wake_at = now + cfg_.sync_wake_latency;
+    }
+  }
+
+  int chosen = -1;
+  switch (policy_) {
+    case FetchPolicy::kRoundRobin: {
+      // Strict RR over live threads; a stalled thread wastes its turn.
+      for (unsigned k = 0; k < n; ++k) {
+        const unsigned cand = (fetch_rr_ + k) % n;
+        ThreadSlot& t = threads_[cand];
+        if (t.tc && !t.tc->done()) {
+          fetch_rr_ = cand + 1;
+          if (fetchable(t, now)) chosen = static_cast<int>(cand);
+          else if (!has_dispatch_room(t)) dispatch_stalled_ = true;
+          break;
+        }
+      }
+      break;
+    }
+    case FetchPolicy::kRoundRobinSkip: {
+      for (unsigned k = 0; k < n; ++k) {
+        const unsigned cand = (fetch_rr_ + k) % n;
+        if (fetchable(threads_[cand], now)) {
+          chosen = static_cast<int>(cand);
+          fetch_rr_ = cand + 1;
+          break;
+        }
+      }
+      break;
+    }
+    case FetchPolicy::kIcount: {
+      unsigned best = ~0u;
+      for (unsigned k = 0; k < n; ++k) {
+        const unsigned cand = (fetch_rr_ + k) % n;
+        const ThreadSlot& t = threads_[cand];
+        if (fetchable(t, now) && t.window_count < best) {
+          best = t.window_count;
+          chosen = static_cast<int>(cand);
+        }
+      }
+      if (chosen >= 0) fetch_rr_ = static_cast<unsigned>(chosen) + 1;
+      break;
+    }
+  }
+
+  if (chosen < 0) {
+    // Nobody could fetch; if some live thread was resource-blocked, that is
+    // a dispatch stall (lack of window/rename space -> `other`).
+    for (const ThreadSlot& t : threads_) {
+      if (t.tc && !t.tc->done() && !mispredict_blocked(t, now) &&
+          !has_dispatch_room(t)) {
+        dispatch_stalled_ = true;
+        break;
+      }
+    }
+    return;
+  }
+
+  ThreadSlot& t = threads_[static_cast<unsigned>(chosen)];
+  exec::ThreadContext& tc = *t.tc;
+
+  for (unsigned i = 0; i < cfg_.width; ++i) {
+    if (tc.done()) break;
+    const isa::Inst& next = tc.peek();
+    const isa::OpInfo& oi = next.info();
+    const bool needs_int_rename = oi.writes_int && next.rd != isa::kRegZero;
+
+    if (free_slots_.empty() || iq_.size() >= cfg_.iq_entries ||
+        (needs_int_rename && int_rename_used_ >= cfg_.int_rename) ||
+        (oi.writes_fp && fp_rename_used_ >= cfg_.fp_rename)) {
+      dispatch_stalled_ = true;
+      break;
+    }
+
+    const std::uint16_t idx = alloc_slot();
+    Uop& u = slots_[idx];
+    const bool stepped = tc.step(u.dyn);
+    CSMT_ASSERT(stepped);
+    u.hw_thread = static_cast<unsigned>(chosen);
+    u.dispatched_at = now;
+
+    // Capture source dependences from the rename maps (before the dest map
+    // update, so "add r1, r1, r2" reads the previous writer of r1).
+    auto capture = [&](bool rd_int, bool rd_fp, isa::RegIdx r) -> SrcDep {
+      if (rd_int) {
+        if (r == isa::kRegZero) return {};
+        const RenameEntry& e = t.int_map[r];
+        return {e.producer, e.gen, e.is_load};
+      }
+      if (rd_fp) {
+        const RenameEntry& e = t.fp_map[r];
+        return {e.producer, e.gen, e.is_load};
+      }
+      return {};
+    };
+    u.src[0] = capture(oi.reads_int1, oi.reads_fp1, u.dyn.inst->rs1);
+    u.src[1] = capture(oi.reads_int2, oi.reads_fp2, u.dyn.inst->rs2);
+
+    u.holds_int_rename = needs_int_rename;
+    u.holds_fp_rename = oi.writes_fp;
+    if (needs_int_rename) {
+      ++int_rename_used_;
+      t.int_map[u.dyn.inst->rd] = {idx, u.gen, oi.is_load};
+    }
+    if (oi.writes_fp) {
+      ++fp_rename_used_;
+      t.fp_map[u.dyn.inst->rd] = {idx, u.gen, oi.is_load};
+    }
+
+    t.rob.push_back(idx);
+    ++t.window_count;
+    iq_.push_back(idx);
+    t.in_sync = u.dyn.sync_tagged();
+    ++stats_.fetched;
+
+    if (oi.is_cond_branch) {
+      const bool correct = predictor_.predict_and_update(
+          u.dyn.pc, u.dyn.branch_taken, u.dyn.next_pc);
+      if (!correct) {
+        u.mispredicted = true;
+        t.blocked_on = idx;
+        t.blocked_gen = u.gen;
+        t.blocked_sync = u.dyn.sync_tagged();
+        break;  // fetch stalls until the branch resolves
+      }
+      // Correctly predicted (direction + BTB target): the fetch unit keeps
+      // following the predicted path within the packet, like Tullsen's
+      // 8-instruction-per-thread fetch (§3.2). Unconditional jumps have
+      // static targets and never break the packet either.
+    }
+    if (oi.is_halt) break;
+    if (tc.sync_blocked()) break;  // entered a sync primitive and blocked
+  }
+}
+
+void Cluster::account(Cycle now) {
+  // Per-thread fetch/control contributions: a live thread with an empty
+  // window either could not be fetched (fetch hazard) or is squashing after
+  // a misprediction (control hazard).
+  last_running_ = 0;
+  for (const ThreadSlot& t : threads_) {
+    if (!t.tc || t.tc->done()) continue;
+    if (sync_waiting(t, now)) {
+      // Blocked in (or waking from) a lock/barrier: the paper's sync slots.
+      cycle_hist_[static_cast<std::size_t>(Slot::kSync)] += 1.0;
+      continue;
+    }
+    if (mispredict_blocked(t, now)) {
+      cycle_hist_[static_cast<std::size_t>(t.blocked_sync ? Slot::kSync
+                                                          : Slot::kControl)] +=
+          1.0;
+    } else if (t.window_count == 0) {
+      cycle_hist_[static_cast<std::size_t>(Slot::kFetch)] += 1.0;
+    }
+    if (!t.in_sync) ++last_running_;
+  }
+  if (dispatch_stalled_) {
+    cycle_hist_[static_cast<std::size_t>(Slot::kOther)] += 1.0;
+    ++stats_.dispatch_stall_cycles;
+  }
+
+  SlotStats& s = stats_.slots;
+  s[Slot::kUseful] += issued_useful_;
+  s[Slot::kSync] += issued_sync_;
+  const double wasted =
+      static_cast<double>(cfg_.width) - issued_useful_ - issued_sync_;
+  if (wasted <= 0) return;
+
+  double total = 0.0;
+  for (const double h : cycle_hist_) total += h;
+  if (total <= 0.0) {
+    // Empty window and nothing blocked: lack of instructions to run.
+    s[Slot::kFetch] += wasted;
+    return;
+  }
+  for (std::size_t i = 0; i < kNumSlots; ++i) {
+    s.slots[i] += wasted * cycle_hist_[i] / total;
+  }
+}
+
+bool Cluster::finished() const {
+  for (const ThreadSlot& t : threads_) {
+    if (!t.tc) continue;
+    if (!t.tc->done() || t.window_count > 0) return false;
+  }
+  return true;
+}
+
+unsigned Cluster::running_threads() const { return last_running_; }
+
+
+std::string Cluster::debug_dump(Cycle now) const {
+  std::string out = "cluster " + std::to_string(id_) + " iq=" +
+                    std::to_string(iq_.size()) +
+                    " int_ren=" + std::to_string(int_rename_used_) +
+                    " fp_ren=" + std::to_string(fp_rename_used_) + "\n";
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    const ThreadSlot& t = threads_[i];
+    out += "  t" + std::to_string(i) + " done=" +
+           std::to_string(t.tc ? t.tc->done() : -1) +
+           " pc=" + std::to_string(t.tc ? t.tc->pc() : 0) +
+           " win=" + std::to_string(t.window_count) +
+           " blocked=" + std::to_string(mispredict_blocked(t, now)) +
+           " insync=" + std::to_string(t.in_sync) + "\n";
+    if (!t.rob.empty()) {
+      const Uop& u = slots_[t.rob.front()];
+      out += "    rob-head: pc=" + std::to_string(u.dyn.pc) +
+             " op=" + std::string(isa::op_name(u.dyn.inst->op)) +
+             " issued=" + std::to_string(u.issued) +
+             " complete_at=" + std::to_string(u.complete_at) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace csmt::core

@@ -1,0 +1,164 @@
+// Cluster: one SMT core of the clustered architecture (§3.2/§3.3).
+//
+// A cluster owns a fetch unit (round-robin over its hardware threads, one
+// thread per cycle, up to `width` instructions), private renaming-register
+// pools, a unified out-of-order instruction queue, per-thread in-order
+// commit through a shared reorder buffer, and a private set of functional
+// units (Table 2). No resources are shared across clusters; the chip's
+// caches are shared (§3.4).
+//
+// The pipeline is execution-driven: the functional front end resolves each
+// instruction at fetch, so the timing model sees actual branch outcomes and
+// effective addresses (MINT-style, §4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "branch/predictor.hpp"
+#include "cache/memsys.hpp"
+#include "common/types.hpp"
+#include "core/arch_config.hpp"
+#include "core/hazards.hpp"
+#include "exec/thread_context.hpp"
+
+namespace csmt::core {
+
+inline constexpr std::uint16_t kNoUop = 0xFFFF;
+
+/// A source dependence captured at dispatch: either a reference to the
+/// producing in-flight uop (generation-tagged, so slot reuse is detected),
+/// or "ready since `ready`".
+struct SrcDep {
+  std::uint16_t producer = kNoUop;
+  std::uint32_t gen = 0;
+  bool producer_is_load = false;
+};
+
+/// One in-flight dynamic instruction.
+struct Uop {
+  exec::DynInst dyn;
+  std::uint32_t gen = 0;
+  unsigned hw_thread = 0;
+  Cycle dispatched_at = 0;
+  Cycle complete_at = kNeverCycle;
+  SrcDep src[2];
+  bool live = false;
+  bool issued = false;
+  bool holds_int_rename = false;
+  bool holds_fp_rename = false;
+  bool mispredicted = false;
+};
+
+struct ClusterStats {
+  SlotStats slots;
+  std::uint64_t cycles = 0;
+  std::uint64_t fetched = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t committed_useful = 0;
+  std::uint64_t committed_sync = 0;
+  std::uint64_t mem_rejections = 0;
+  std::uint64_t dispatch_stall_cycles = 0;
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterId id, const ClusterConfig& cfg, FetchPolicy policy,
+          cache::MemSys& memsys);
+
+  /// Binds a software thread to the next free hardware context. At most
+  /// `cfg.threads` threads per cluster (Table 2).
+  void attach_thread(exec::ThreadContext* tc);
+
+  /// Advances the cluster by one cycle: commit, issue, fetch, then
+  /// issue-slot accounting (§4.1).
+  void tick(Cycle now);
+
+  /// True when every attached thread has halted and the pipeline is empty.
+  bool finished() const;
+
+  /// Threads currently "running" for the Figure 6 characterization:
+  /// attached, not halted, and not inside a sync region.
+  unsigned running_threads() const;
+
+  /// Human-readable snapshot of pipeline state (debugging aid).
+  std::string debug_dump(Cycle now) const;
+
+  const ClusterStats& stats() const { return stats_; }
+  const branch::PredictorStats& predictor_stats() const {
+    return predictor_.stats();
+  }
+  ClusterId id() const { return id_; }
+  const ClusterConfig& config() const { return cfg_; }
+  unsigned attached_threads() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  struct RenameEntry {
+    std::uint16_t producer = kNoUop;
+    std::uint32_t gen = 0;
+    bool is_load = false;
+  };
+
+  struct ThreadSlot {
+    exec::ThreadContext* tc = nullptr;
+    std::uint16_t blocked_on = kNoUop;  ///< unresolved mispredicted branch
+    std::uint32_t blocked_gen = 0;
+    bool blocked_sync = false;          ///< the blocking branch was sync-tagged
+    bool was_sync_blocked = false;      ///< observed blocked last cycle
+    Cycle wake_at = 0;                  ///< earliest fetch after a sync wake
+    RenameEntry int_map[isa::kNumIntRegs];
+    RenameEntry fp_map[isa::kNumFpRegs];
+    unsigned window_count = 0;          ///< in-flight uops of this thread
+    bool in_sync = false;               ///< last fetched inst was sync-tagged
+    std::deque<std::uint16_t> rob;      ///< program order (indices into slots_)
+  };
+
+  void commit(Cycle now);
+  void issue(Cycle now);
+  void fetch(Cycle now);
+  void account(Cycle now);
+
+  /// True when the dependence is satisfied at `now`. Otherwise `*hazard`
+  /// reports why (kMemory for an in-flight load producer, kData otherwise).
+  bool src_ready(const SrcDep& dep, Cycle now, Slot* hazard) const;
+
+  /// True if `t` may fetch this cycle (not done, not sync-blocked or
+  /// waking, not mispredict-blocked, room for at least one instruction).
+  bool fetchable(const ThreadSlot& t, Cycle now) const;
+  /// Thread is inside a sync primitive: blocked, or paying wake latency.
+  bool sync_waiting(const ThreadSlot& t, Cycle now) const;
+  bool mispredict_blocked(const ThreadSlot& t, Cycle now) const;
+  bool has_dispatch_room(const ThreadSlot& t) const;
+
+  std::uint16_t alloc_slot();
+  void free_slot(std::uint16_t idx);
+
+  ClusterId id_;
+  ClusterConfig cfg_;
+  FetchPolicy policy_;
+  cache::MemSys& memsys_;
+  branch::BranchPredictor predictor_;
+
+  std::vector<ThreadSlot> threads_;
+  std::vector<Uop> slots_;
+  std::vector<std::uint16_t> free_slots_;
+  std::vector<std::uint16_t> iq_;  ///< waiting-to-issue uops, oldest first
+  unsigned int_rename_used_ = 0;
+  unsigned fp_rename_used_ = 0;
+  unsigned fetch_rr_ = 0;
+  unsigned commit_rr_ = 0;
+  unsigned last_running_ = 0;  ///< Figure 6 sample, updated each tick
+
+  // Per-cycle accounting state (filled by issue(), consumed by account()).
+  double cycle_hist_[kNumSlots] = {};
+  unsigned issued_useful_ = 0;
+  unsigned issued_sync_ = 0;
+  bool dispatch_stalled_ = false;
+
+  ClusterStats stats_;
+};
+
+}  // namespace csmt::core

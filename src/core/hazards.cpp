@@ -1,0 +1,34 @@
+#include "core/hazards.hpp"
+
+#include "common/stats.hpp"
+
+namespace csmt::core {
+
+const char* slot_name(Slot s) {
+  switch (s) {
+    case Slot::kUseful: return "useful";
+    case Slot::kFetch: return "fetch";
+    case Slot::kSync: return "sync";
+    case Slot::kControl: return "control";
+    case Slot::kData: return "data";
+    case Slot::kMemory: return "memory";
+    case Slot::kStructural: return "structural";
+    case Slot::kOther: return "other";
+    case Slot::kCount_: break;
+  }
+  return "?";
+}
+
+std::string SlotStats::summary() const {
+  std::string out;
+  for (std::size_t i = 0; i < kNumSlots; ++i) {
+    const auto s = static_cast<Slot>(i);
+    if (!out.empty()) out += "  ";
+    out += slot_name(s);
+    out += "=";
+    out += format_percent(fraction(s));
+  }
+  return out;
+}
+
+}  // namespace csmt::core

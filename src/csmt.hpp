@@ -1,0 +1,30 @@
+// Umbrella header for the csmt library: a cycle-accurate, execution-driven
+// simulator for clustered simultaneous-multithreaded processors,
+// reproducing Krishnan & Torrellas, "A Clustered Approach to Multithreaded
+// Processors" (IPPS 1998). See README.md for a tour.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+#include "isa/builder.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+#include "mem/paged_memory.hpp"
+#include "exec/sync.hpp"
+#include "exec/thread_context.hpp"
+#include "exec/thread_group.hpp"
+#include "branch/predictor.hpp"
+#include "cache/backend.hpp"
+#include "cache/memsys.hpp"
+#include "noc/dash.hpp"
+#include "core/arch_config.hpp"
+#include "core/chip.hpp"
+#include "core/cluster.hpp"
+#include "core/hazards.hpp"
+#include "model/parallelism_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "workloads/workload.hpp"

@@ -1,0 +1,25 @@
+// Dynamic-instruction record produced by the functional front end and
+// consumed by the timing model (the analogue of a MINT event).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace csmt::exec {
+
+struct DynInst {
+  const isa::Inst* inst = nullptr;  ///< static instruction (never null)
+  std::uint64_t seq = 0;            ///< per-thread dynamic sequence number
+  ThreadId tid = 0;
+  std::uint64_t pc = 0;             ///< static index of this instruction
+  std::uint64_t next_pc = 0;        ///< resolved successor index
+  Addr mem_addr = 0;                ///< effective address (memory ops only)
+  bool branch_taken = false;        ///< resolved outcome (branches only)
+
+  const isa::OpInfo& info() const { return inst->info(); }
+  bool sync_tagged() const { return inst->sync_tag; }
+};
+
+}  // namespace csmt::exec

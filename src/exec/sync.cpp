@@ -1,0 +1,49 @@
+#include "exec/sync.hpp"
+
+#include "exec/thread_context.hpp"
+
+namespace csmt::exec {
+
+bool SyncManager::barrier_arrive(Addr addr, ThreadContext* t,
+                                 std::uint64_t participants) {
+  CSMT_ASSERT(participants >= 1);
+  BarrierState& bs = barriers_[addr];
+  ++bs.arrived;
+  if (bs.arrived >= participants) {
+    for (ThreadContext* w : bs.waiters) w->set_sync_blocked(false);
+    bs.waiters.clear();
+    bs.arrived = 0;
+    ++barrier_episodes_;
+    return true;
+  }
+  bs.waiters.push_back(t);
+  t->set_sync_blocked(true);
+  return false;
+}
+
+bool SyncManager::lock_acquire(Addr addr, ThreadContext* t) {
+  LockState& ls = locks_[addr];
+  if (ls.holder == nullptr) {
+    ls.holder = t;
+    return true;
+  }
+  ls.waiters.push_back(t);
+  t->set_sync_blocked(true);
+  ++lock_contentions_;
+  return false;
+}
+
+void SyncManager::lock_release(Addr addr, ThreadContext* t) {
+  LockState& ls = locks_[addr];
+  CSMT_ASSERT_MSG(ls.holder == t, "lock released by a non-holder");
+  if (ls.waiters.empty()) {
+    ls.holder = nullptr;
+    return;
+  }
+  // FIFO handoff: the oldest waiter owns the lock as it wakes.
+  ls.holder = ls.waiters.front();
+  ls.waiters.pop_front();
+  ls.holder->set_sync_blocked(false);
+}
+
+}  // namespace csmt::exec

@@ -1,0 +1,230 @@
+#include "isa/builder.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace csmt::isa {
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name)) {
+  // r0..r3 are reserved (zero/tid/nthreads/args); the rest are allocatable.
+  int_free_ = 0xFFFFFFF0u;
+  fp_free_ = 0xFFFFFFFFu;
+}
+
+Reg ProgramBuilder::ireg() {
+  CSMT_ASSERT_MSG(int_free_ != 0, "integer register file exhausted");
+  const int idx = std::countr_zero(int_free_);
+  int_free_ &= ~(1u << idx);
+  return Reg{static_cast<RegIdx>(idx)};
+}
+
+Freg ProgramBuilder::freg() {
+  CSMT_ASSERT_MSG(fp_free_ != 0, "fp register file exhausted");
+  const int idx = std::countr_zero(fp_free_);
+  fp_free_ &= ~(1u << idx);
+  return Freg{static_cast<RegIdx>(idx)};
+}
+
+void ProgramBuilder::release(Reg r) {
+  CSMT_ASSERT_MSG(r.idx >= 4, "cannot release a reserved register");
+  CSMT_ASSERT_MSG((int_free_ & (1u << r.idx)) == 0, "double release");
+  int_free_ |= 1u << r.idx;
+}
+
+void ProgramBuilder::release(Freg f) {
+  CSMT_ASSERT_MSG((fp_free_ & (1u << f.idx)) == 0, "double release");
+  fp_free_ |= 1u << f.idx;
+}
+
+Label ProgramBuilder::new_label() {
+  label_pos_.push_back(-1);
+  return Label{static_cast<std::uint32_t>(label_pos_.size() - 1)};
+}
+
+void ProgramBuilder::bind(Label l) {
+  CSMT_ASSERT(l.id < label_pos_.size());
+  CSMT_ASSERT_MSG(label_pos_[l.id] == -1, "label bound twice");
+  label_pos_[l.id] = static_cast<std::int64_t>(code_.size());
+}
+
+void ProgramBuilder::emit(Inst inst) {
+  CSMT_ASSERT_MSG(!taken_, "builder already finalized");
+  code_.push_back(inst);
+}
+
+void ProgramBuilder::emit_branch(Op op, Reg a, Reg b, Label t) {
+  fixups_.push_back({code_.size(), t.id});
+  emit(Inst{op, 0, a.idx, b.idx, 0, in_sync_});
+}
+
+void ProgramBuilder::for_range(Reg idx, std::int64_t start, Reg bound,
+                               std::int64_t step,
+                               const std::function<void()>& body) {
+  li(idx, start);
+  loop_tail(idx, bound, step, body);
+}
+
+void ProgramBuilder::for_range(Reg idx, Reg start, Reg bound,
+                               std::int64_t step,
+                               const std::function<void()>& body) {
+  mov(idx, start);
+  loop_tail(idx, bound, step, body);
+}
+
+void ProgramBuilder::loop_tail(Reg idx, Reg bound, std::int64_t step,
+                               const std::function<void()>& body) {
+  CSMT_ASSERT_MSG(step != 0, "for_range step must be nonzero");
+  // Guard for the possibly-empty range, then a bottom-tested loop so each
+  // iteration pays exactly one (well-predicted) backward branch.
+  Label done = new_label();
+  Label top = new_label();
+  if (step > 0) {
+    bge(idx, bound, done);
+  } else {
+    bge(bound, idx, done);
+  }
+  bind(top);
+  body();
+  addi(idx, idx, step);
+  if (step > 0) {
+    blt(idx, bound, top);
+  } else {
+    blt(bound, idx, top);
+  }
+  bind(done);
+}
+
+void ProgramBuilder::if_then(Op cond, Reg a, Reg b,
+                             const std::function<void()>& body) {
+  // Emit the inverse branch over the body.
+  Op inverse;
+  switch (cond) {
+    case Op::kBeq: inverse = Op::kBne; break;
+    case Op::kBne: inverse = Op::kBeq; break;
+    case Op::kBlt: inverse = Op::kBge; break;
+    case Op::kBge: inverse = Op::kBlt; break;
+    case Op::kBltu: inverse = Op::kBgeu; break;
+    case Op::kBgeu: inverse = Op::kBltu; break;
+    default:
+      CSMT_ASSERT_MSG(false, "if_then requires a conditional branch opcode");
+      return;
+  }
+  Label skip = new_label();
+  emit_branch(inverse, a, b, skip);
+  body();
+  bind(skip);
+}
+
+void ProgramBuilder::sync_end() {
+  CSMT_ASSERT_MSG(sync_depth_ > 0, "sync_end without sync_begin");
+  --sync_depth_;
+  update_sync();
+}
+
+namespace {
+
+/// Length of the dependent-ALU pause chain inside spin loops. Spinning on
+/// the chip's *shared* L1 would otherwise flood one cache bank with
+/// speculative flag loads (the fetch unit runs ahead through the
+/// predicted-taken spin branch); a short backoff keeps a spinning thread's
+/// load rate far below bank bandwidth, like the delay in ANL-macro locks.
+constexpr int kSpinPauseOps = 6;
+
+}  // namespace
+
+void ProgramBuilder::emit_spin_pause(Reg scratch) {
+  for (int k = 0; k < kSpinPauseOps; ++k) addi(scratch, scratch, 1);
+}
+
+void ProgramBuilder::barrier(Reg bar, Reg count) {
+  sync_begin();
+  emit(Inst{Op::kSyncBarrier, 0, bar.idx, count.idx, 0, in_sync_});
+  sync_end();
+}
+
+void ProgramBuilder::lock_acquire(Reg addr) {
+  sync_begin();
+  emit(Inst{Op::kSyncLockAcq, 0, addr.idx, 0, 0, in_sync_});
+  sync_end();
+}
+
+void ProgramBuilder::lock_release(Reg addr) {
+  sync_begin();
+  emit(Inst{Op::kSyncLockRel, 0, addr.idx, 0, 0, in_sync_});
+  sync_end();
+}
+
+void ProgramBuilder::spin_lock_acquire(Reg addr) {
+  sync_begin();
+  Reg tmp = ireg();
+  Reg one = ireg();
+  li(one, 1);
+  Label spin = new_label();
+  Label try_tas = new_label();
+  Label acquired = new_label();
+  // Test-and-test-and-set: spin on a plain load, attempt the atomic swap
+  // only when the lock looks free. This matches the ANL-macro-era locks the
+  // SPLASH-2 applications used.
+  bind(try_tas);
+  amoswap(tmp, addr, one);
+  beq(tmp, zero(), acquired);
+  bind(spin);
+  emit_spin_pause(one);
+  ld(tmp, addr, 0);
+  bne(tmp, zero(), spin);
+  j(try_tas);
+  bind(acquired);
+  release(tmp);
+  release(one);
+  sync_end();
+}
+
+void ProgramBuilder::spin_lock_release(Reg addr) {
+  sync_begin();
+  st(addr, 0, zero());
+  sync_end();
+}
+
+void ProgramBuilder::spin_barrier(Reg bar, Reg sense, Reg count) {
+  sync_begin();
+  Reg old = ireg();
+  Reg tmp = ireg();
+  Reg one = ireg();
+  // Flip the local sense, then fetch-and-increment the arrival counter.
+  xori(sense, sense, 1);
+  li(one, 1);
+  amoadd(old, bar, one);
+  addi(tmp, count, -1);
+  Label not_last = new_label();
+  Label done = new_label();
+  bne(old, tmp, not_last);
+  // Last arriver: reset the counter and publish the new sense.
+  st(bar, 0, zero());
+  st(bar, 8, sense);
+  j(done);
+  bind(not_last);
+  Label spin = new_label();
+  bind(spin);
+  emit_spin_pause(one);
+  ld(tmp, bar, 8);
+  bne(tmp, sense, spin);
+  bind(done);
+  release(old);
+  release(tmp);
+  release(one);
+  sync_end();
+}
+
+Program ProgramBuilder::take() {
+  CSMT_ASSERT_MSG(!taken_, "take() called twice");
+  CSMT_ASSERT_MSG(sync_depth_ == 0, "unbalanced sync_begin/sync_end");
+  for (const Fixup& f : fixups_) {
+    CSMT_ASSERT_MSG(label_pos_[f.label] >= 0, "branch to unbound label");
+    code_[f.inst_index].imm = label_pos_[f.label];
+  }
+  taken_ = true;
+  return Program(std::move(name_), std::move(code_));
+}
+
+}  // namespace csmt::isa

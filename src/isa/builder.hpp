@@ -1,0 +1,221 @@
+// ProgramBuilder: a typed assembler DSL for writing SPMD kernels.
+//
+// Workloads build Programs through this class instead of raw Inst vectors:
+// it allocates registers, resolves labels, provides structured loop/if
+// helpers, and emits the canonical spin-lock / sense-reversing-barrier
+// sequences with sync-region tagging (the paper's `sync` hazard category).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace csmt::isa {
+
+/// An allocated integer register. Distinct from Freg so the type system
+/// prevents feeding an fp register to an integer opcode.
+struct Reg {
+  RegIdx idx = 0;
+};
+
+/// An allocated floating-point register.
+struct Freg {
+  RegIdx idx = 0;
+};
+
+/// A branch target. Created unbound; bound to the next emitted instruction
+/// by ProgramBuilder::bind().
+struct Label {
+  std::uint32_t id = 0;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // ----- registers ---------------------------------------------------------
+  /// Allocates a free integer register; aborts if the file is exhausted.
+  Reg ireg();
+  /// Allocates a free fp register.
+  Freg freg();
+  /// Returns a register to the pool for reuse.
+  void release(Reg r);
+  void release(Freg f);
+
+  /// Reserved registers (see inst.hpp conventions).
+  static Reg zero() { return {kRegZero}; }
+  static Reg tid() { return {kRegTid}; }
+  static Reg nthreads() { return {kRegNThreads}; }
+  static Reg args() { return {kRegArgs}; }
+
+  // ----- labels ------------------------------------------------------------
+  Label new_label();
+  /// Binds `l` to the next instruction emitted. Each label binds exactly once.
+  void bind(Label l);
+
+  // ----- integer ALU -------------------------------------------------------
+  void add(Reg d, Reg a, Reg b) { emit_rr(Op::kAdd, d, a, b); }
+  void sub(Reg d, Reg a, Reg b) { emit_rr(Op::kSub, d, a, b); }
+  void and_(Reg d, Reg a, Reg b) { emit_rr(Op::kAnd, d, a, b); }
+  void or_(Reg d, Reg a, Reg b) { emit_rr(Op::kOr, d, a, b); }
+  void xor_(Reg d, Reg a, Reg b) { emit_rr(Op::kXor, d, a, b); }
+  void sll(Reg d, Reg a, Reg b) { emit_rr(Op::kSll, d, a, b); }
+  void srl(Reg d, Reg a, Reg b) { emit_rr(Op::kSrl, d, a, b); }
+  void sra(Reg d, Reg a, Reg b) { emit_rr(Op::kSra, d, a, b); }
+  void slt(Reg d, Reg a, Reg b) { emit_rr(Op::kSlt, d, a, b); }
+  void sltu(Reg d, Reg a, Reg b) { emit_rr(Op::kSltu, d, a, b); }
+  void mul(Reg d, Reg a, Reg b) { emit_rr(Op::kMul, d, a, b); }
+  void div(Reg d, Reg a, Reg b) { emit_rr(Op::kDiv, d, a, b); }
+  void rem(Reg d, Reg a, Reg b) { emit_rr(Op::kRem, d, a, b); }
+
+  void addi(Reg d, Reg a, std::int64_t imm) { emit_ri(Op::kAddi, d, a, imm); }
+  void andi(Reg d, Reg a, std::int64_t imm) { emit_ri(Op::kAndi, d, a, imm); }
+  void ori(Reg d, Reg a, std::int64_t imm) { emit_ri(Op::kOri, d, a, imm); }
+  void xori(Reg d, Reg a, std::int64_t imm) { emit_ri(Op::kXori, d, a, imm); }
+  void slli(Reg d, Reg a, std::int64_t imm) { emit_ri(Op::kSlli, d, a, imm); }
+  void srli(Reg d, Reg a, std::int64_t imm) { emit_ri(Op::kSrli, d, a, imm); }
+  void srai(Reg d, Reg a, std::int64_t imm) { emit_ri(Op::kSrai, d, a, imm); }
+  void slti(Reg d, Reg a, std::int64_t imm) { emit_ri(Op::kSlti, d, a, imm); }
+  void li(Reg d, std::int64_t imm) { emit_ri(Op::kLi, d, zero(), imm); }
+  /// d <- a (integer move; emitted as addi d, a, 0).
+  void mov(Reg d, Reg a) { addi(d, a, 0); }
+
+  // ----- control flow ------------------------------------------------------
+  void beq(Reg a, Reg b, Label t) { emit_branch(Op::kBeq, a, b, t); }
+  void bne(Reg a, Reg b, Label t) { emit_branch(Op::kBne, a, b, t); }
+  void blt(Reg a, Reg b, Label t) { emit_branch(Op::kBlt, a, b, t); }
+  void bge(Reg a, Reg b, Label t) { emit_branch(Op::kBge, a, b, t); }
+  void bltu(Reg a, Reg b, Label t) { emit_branch(Op::kBltu, a, b, t); }
+  void bgeu(Reg a, Reg b, Label t) { emit_branch(Op::kBgeu, a, b, t); }
+  void j(Label t) { emit_branch(Op::kJ, zero(), zero(), t); }
+
+  // ----- memory ------------------------------------------------------------
+  void ld(Reg d, Reg base, std::int64_t off) {
+    emit(Inst{Op::kLd, d.idx, base.idx, 0, off, in_sync_});
+  }
+  void st(Reg base, std::int64_t off, Reg src) {
+    emit(Inst{Op::kSt, 0, base.idx, src.idx, off, in_sync_});
+  }
+  void fld(Freg d, Reg base, std::int64_t off) {
+    emit(Inst{Op::kFld, d.idx, base.idx, 0, off, in_sync_});
+  }
+  void fst(Reg base, std::int64_t off, Freg src) {
+    emit(Inst{Op::kFst, 0, base.idx, src.idx, off, in_sync_});
+  }
+  void amoswap(Reg d, Reg addr, Reg val) {
+    emit(Inst{Op::kAmoSwap, d.idx, addr.idx, val.idx, 0, in_sync_});
+  }
+  void amoadd(Reg d, Reg addr, Reg val) {
+    emit(Inst{Op::kAmoAdd, d.idx, addr.idx, val.idx, 0, in_sync_});
+  }
+
+  // ----- floating point ----------------------------------------------------
+  void fadd(Freg d, Freg a, Freg b) { emit_frr(Op::kFadd, d, a, b); }
+  void fsub(Freg d, Freg a, Freg b) { emit_frr(Op::kFsub, d, a, b); }
+  void fmul(Freg d, Freg a, Freg b) { emit_frr(Op::kFmul, d, a, b); }
+  void fdiv_s(Freg d, Freg a, Freg b) { emit_frr(Op::kFdivS, d, a, b); }
+  void fdiv_d(Freg d, Freg a, Freg b) { emit_frr(Op::kFdivD, d, a, b); }
+  void fneg(Freg d, Freg a) { emit_frr(Op::kFneg, d, a, Freg{0}); }
+  void fabs_(Freg d, Freg a) { emit_frr(Op::kFabs, d, a, Freg{0}); }
+  void fmov(Freg d, Freg a) { emit_frr(Op::kFmov, d, a, Freg{0}); }
+  void fcvt_i2f(Freg d, Reg a) {
+    emit(Inst{Op::kFcvtIF, d.idx, a.idx, 0, 0, in_sync_});
+  }
+  void fcvt_f2i(Reg d, Freg a) {
+    emit(Inst{Op::kFcvtFI, d.idx, a.idx, 0, 0, in_sync_});
+  }
+  void fcmp_lt(Reg d, Freg a, Freg b) {
+    emit(Inst{Op::kFcmpLt, d.idx, a.idx, b.idx, 0, in_sync_});
+  }
+  void fcmp_le(Reg d, Freg a, Freg b) {
+    emit(Inst{Op::kFcmpLe, d.idx, a.idx, b.idx, 0, in_sync_});
+  }
+  void fcmp_eq(Reg d, Freg a, Freg b) {
+    emit(Inst{Op::kFcmpEq, d.idx, a.idx, b.idx, 0, in_sync_});
+  }
+
+  // ----- misc --------------------------------------------------------------
+  void nop() { emit(Inst{Op::kNop, 0, 0, 0, 0, in_sync_}); }
+  void halt() { emit(Inst{Op::kHalt, 0, 0, 0, 0, in_sync_}); }
+
+  // ----- structured helpers ------------------------------------------------
+  /// for (idx = start; idx < bound; idx += step) body();
+  /// Bottom-tested with a top guard, so empty ranges are handled.
+  void for_range(Reg idx, std::int64_t start, Reg bound, std::int64_t step,
+                 const std::function<void()>& body);
+
+  /// Same, with a register start value.
+  void for_range(Reg idx, Reg start, Reg bound, std::int64_t step,
+                 const std::function<void()>& body);
+
+  /// if (a <cond> b) body();  cond is the opcode of the *taken* comparison.
+  void if_then(Op cond, Reg a, Reg b, const std::function<void()>& body);
+
+  // ----- synchronization ---------------------------------------------------
+  /// Marks emitted instructions as part of a sync region (nests).
+  void sync_begin() { ++sync_depth_; update_sync(); }
+  void sync_end();
+
+  /// MINT-style synchronization primitives (the default): the functional
+  /// front end blocks the thread inside the simulator and the timing model
+  /// charges its unusable slots to the sync hazard (§4.1). Each primitive
+  /// is also an atomic access to the sync variable's cache line, so
+  /// synchronization still generates real (coherence) memory traffic.
+  void barrier(Reg bar, Reg count);
+  void lock_acquire(Reg addr);
+  void lock_release(Reg addr);
+
+  /// Literal spin-loop implementations (sync-modeling ablation): a
+  /// test-and-test-and-set lock and a sense-reversing barrier that really
+  /// execute their spin iterations on the pipeline.
+  void spin_lock_acquire(Reg addr);
+  void spin_lock_release(Reg addr);
+  /// `sense` is the thread's local sense register, initialized to 0 before
+  /// the first barrier; `count` holds the participating thread count.
+  void spin_barrier(Reg bar, Reg sense, Reg count);
+
+  // ----- finalization ------------------------------------------------------
+  /// Number of instructions emitted so far.
+  std::size_t size() const { return code_.size(); }
+
+  /// Resolves all label references and yields the finished Program.
+  /// Aborts if any referenced label was never bound.
+  Program take();
+
+ private:
+  void emit(Inst inst);
+  void emit_rr(Op op, Reg d, Reg a, Reg b) {
+    emit(Inst{op, d.idx, a.idx, b.idx, 0, in_sync_});
+  }
+  void emit_ri(Op op, Reg d, Reg a, std::int64_t imm) {
+    emit(Inst{op, d.idx, a.idx, 0, imm, in_sync_});
+  }
+  void emit_frr(Op op, Freg d, Freg a, Freg b) {
+    emit(Inst{op, d.idx, a.idx, b.idx, 0, in_sync_});
+  }
+  void emit_branch(Op op, Reg a, Reg b, Label t);
+  /// Dependent-ALU backoff chain used inside spin loops (see builder.cpp).
+  void emit_spin_pause(Reg scratch);
+  void loop_tail(Reg idx, Reg bound, std::int64_t step,
+                 const std::function<void()>& body);
+  void update_sync() { in_sync_ = sync_depth_ > 0; }
+
+  std::string name_;
+  std::vector<Inst> code_;
+  std::vector<std::int64_t> label_pos_;  ///< -1 while unbound
+  struct Fixup {
+    std::size_t inst_index;
+    std::uint32_t label;
+  };
+  std::vector<Fixup> fixups_;
+  std::uint32_t int_free_;  ///< bitmask of allocatable integer registers
+  std::uint32_t fp_free_;   ///< bitmask of allocatable fp registers
+  int sync_depth_ = 0;
+  bool in_sync_ = false;
+  bool taken_ = false;
+};
+
+}  // namespace csmt::isa

@@ -1,0 +1,40 @@
+// Static (decoded) instruction representation.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+
+namespace csmt::isa {
+
+/// Register index within the integer or fp file (which file is implied by
+/// the opcode; see OpInfo).
+using RegIdx = std::uint8_t;
+
+inline constexpr RegIdx kNumIntRegs = 32;
+inline constexpr RegIdx kNumFpRegs = 32;
+
+/// Integer register conventions. r0 is hardwired to zero; r1..r3 are
+/// initialized by the thread launcher (see exec::ThreadGroup).
+inline constexpr RegIdx kRegZero = 0;   ///< always reads 0; writes discarded
+inline constexpr RegIdx kRegTid = 1;    ///< this thread's id at entry
+inline constexpr RegIdx kRegNThreads = 2;  ///< total thread count at entry
+inline constexpr RegIdx kRegArgs = 3;   ///< base address of the argument block
+
+/// One static instruction. Branch targets (`imm` for branch ops) are absolute
+/// instruction indices within the owning Program, resolved by ProgramBuilder.
+struct Inst {
+  Op op = Op::kNop;
+  RegIdx rd = 0;
+  RegIdx rs1 = 0;
+  RegIdx rs2 = 0;
+  std::int64_t imm = 0;
+  /// True when the instruction belongs to a synchronization region (spin
+  /// lock / barrier). Slots consumed by such instructions are accounted to
+  /// the `sync` hazard category, matching the paper's statistics (§4.1).
+  bool sync_tag = false;
+
+  const OpInfo& info() const { return op_info(op); }
+};
+
+}  // namespace csmt::isa

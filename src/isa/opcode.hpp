@@ -1,0 +1,96 @@
+// The csmt mini-RISC ISA: opcode set, functional-unit classes and latencies.
+//
+// The ISA substitutes for the MIPS-II binaries the paper drove through MINT.
+// It is a 64-bit word machine with 32 integer and 32 floating-point (double)
+// registers per thread. Per-opcode functional-unit class and latency follow
+// Table 1 of the paper exactly:
+//
+//   Integer unit:    add/sub/log/shift 1, mul 2, div 8, branch 1
+//   Load/store unit: load 2, store 1
+//   FP unit:         fpadd 1, fpmult 2, fpdiv 4 (single) / 7 (double)
+#pragma once
+
+#include <cstdint>
+
+namespace csmt::isa {
+
+/// Functional-unit class an opcode executes on (Table 1 / Table 2).
+enum class FuClass : std::uint8_t {
+  kInt,    ///< integer ALU (also resolves branches)
+  kLdSt,   ///< load/store unit
+  kFp,     ///< floating-point unit
+  kNone,   ///< consumes no functional unit (NOP, HALT)
+};
+
+enum class Op : std::uint8_t {
+  // --- integer register-register (int unit, latency 1) ---
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu,
+  // --- integer register-immediate (int unit, latency 1) ---
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti,
+  kLi,     ///< rd <- imm
+  // --- integer multiply/divide ---
+  kMul,    ///< latency 2
+  kDiv,    ///< latency 8
+  kRem,    ///< latency 8
+  // --- control flow (int unit, latency 1) ---
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kJ,      ///< unconditional jump (always taken, never mispredicts)
+  // --- memory (ld/st unit) ---
+  kLd,     ///< int load:  rd <- mem[rs1 + imm], latency 2
+  kSt,     ///< int store: mem[rs1 + imm] <- rs2, latency 1
+  kFld,    ///< fp load:   fd <- mem[rs1 + imm] (double), latency 2
+  kFst,    ///< fp store:  mem[rs1 + imm] <- fs2, latency 1
+  kAmoSwap,///< atomic:    rd <- mem[rs1]; mem[rs1] <- rs2
+  kAmoAdd, ///< atomic:    rd <- mem[rs1]; mem[rs1] += rs2
+  // --- synchronization primitives (MINT-style: the functional front end
+  // blocks the thread; the timing model sees an atomic on the sync line
+  // and charges the blocked thread's issue slots to the sync hazard) ---
+  kSyncBarrier, ///< barrier at [rs1], rs2 participants; blocks until last
+  kSyncLockAcq, ///< acquire lock at [rs1]; blocks while held
+  kSyncLockRel, ///< release lock at [rs1]
+  // --- floating point (fp unit) ---
+  kFadd,   ///< latency 1
+  kFsub,   ///< latency 1
+  kFmul,   ///< latency 2
+  kFdivS,  ///< latency 4 (single precision)
+  kFdivD,  ///< latency 7 (double precision)
+  kFneg, kFabs, kFmov,          ///< latency 1
+  kFcvtIF, ///< fd <- (double) rs1,  fp unit, latency 2
+  kFcvtFI, ///< rd <- (int64) fs1,   fp unit, latency 2
+  kFcmpLt, ///< rd <- fs1 <  fs2,    fp unit, latency 1
+  kFcmpLe, ///< rd <- fs1 <= fs2,    fp unit, latency 1
+  kFcmpEq, ///< rd <- fs1 == fs2,    fp unit, latency 1
+  // --- misc ---
+  kNop,
+  kHalt,   ///< terminates the executing thread
+  kOpCount_,
+};
+
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kOpCount_);
+
+/// Static per-opcode properties consumed by both the functional interpreter
+/// and the timing model.
+struct OpInfo {
+  FuClass fu;
+  std::uint8_t latency;      ///< execution latency in cycles (Table 1)
+  bool writes_int : 1;       ///< rd targets the integer regfile
+  bool writes_fp : 1;        ///< rd targets the fp regfile
+  bool reads_int1 : 1;       ///< rs1 is an integer source
+  bool reads_int2 : 1;       ///< rs2 is an integer source
+  bool reads_fp1 : 1;        ///< rs1 is an fp source
+  bool reads_fp2 : 1;        ///< rs2 is an fp source
+  bool is_branch : 1;        ///< any control transfer
+  bool is_cond_branch : 1;   ///< conditional (predicted) branch
+  bool is_load : 1;          ///< reads memory into a register
+  bool is_store : 1;         ///< writes memory
+  bool is_atomic : 1;        ///< read-modify-write
+  bool is_halt : 1;
+};
+
+/// Looks up the static properties of `op`. O(1) table access.
+const OpInfo& op_info(Op op);
+
+/// Human-readable mnemonic ("add", "fld", ...). Stable across versions.
+const char* op_name(Op op);
+
+}  // namespace csmt::isa

@@ -1,0 +1,71 @@
+#include "isa/program.hpp"
+
+#include <cstdio>
+
+namespace csmt::isa {
+namespace {
+
+std::string reg(bool fp, RegIdx r) {
+  return (fp ? "f" : "r") + std::to_string(r);
+}
+
+}  // namespace
+
+std::string Program::disassemble(const Inst& inst) {
+  const OpInfo& oi = inst.info();
+  std::string out = op_name(inst.op);
+  auto emit = [&out](const std::string& s) {
+    out += out.back() == ' ' ? s : " " + s;
+  };
+  out += " ";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  if (oi.writes_int || oi.writes_fp) {
+    sep();
+    emit(reg(oi.writes_fp, inst.rd));
+  }
+  if (oi.reads_int1 || oi.reads_fp1) {
+    sep();
+    emit(reg(oi.reads_fp1, inst.rs1));
+  }
+  if (oi.reads_int2 || oi.reads_fp2) {
+    sep();
+    emit(reg(oi.reads_fp2, inst.rs2));
+  }
+  // Immediates: loads/stores render as offset(base)-style, branches as
+  // target indices, ALU-immediates as plain numbers.
+  const bool uses_imm =
+      oi.is_load || oi.is_store || oi.is_branch || inst.op == Op::kLi ||
+      inst.op == Op::kAddi || inst.op == Op::kAndi || inst.op == Op::kOri ||
+      inst.op == Op::kXori || inst.op == Op::kSlli || inst.op == Op::kSrli ||
+      inst.op == Op::kSrai || inst.op == Op::kSlti;
+  if (uses_imm && !oi.is_atomic) {
+    sep();
+    if (oi.is_branch) {
+      emit("@" + std::to_string(inst.imm));
+    } else {
+      emit(std::to_string(inst.imm));
+    }
+  }
+  if (inst.sync_tag) out += "   ; sync";
+  return out;
+}
+
+std::string Program::disassemble() const {
+  std::string out;
+  out += "; program \"" + name_ + "\" (" + std::to_string(code_.size()) +
+         " instructions)\n";
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    char idx[32];
+    std::snprintf(idx, sizeof(idx), "%5zu: ", i);
+    out += idx;
+    out += disassemble(code_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace csmt::isa

@@ -1,0 +1,36 @@
+// A Program is an immutable sequence of static instructions plus metadata.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/inst.hpp"
+
+namespace csmt::isa {
+
+/// Immutable compiled program. All threads of an SPMD workload execute the
+/// same Program from index 0; behaviour diverges on the tid register.
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Inst> code)
+      : name_(std::move(name)), code_(std::move(code)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Inst>& code() const { return code_; }
+  std::size_t size() const { return code_.size(); }
+  const Inst& at(std::size_t pc) const { return code_[pc]; }
+  bool empty() const { return code_.empty(); }
+
+  /// Disassembles the whole program, one instruction per line, with indices.
+  std::string disassemble() const;
+
+  /// Disassembles a single instruction.
+  static std::string disassemble(const Inst& inst);
+
+ private:
+  std::string name_;
+  std::vector<Inst> code_;
+};
+
+}  // namespace csmt::isa

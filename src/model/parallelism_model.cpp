@@ -1,0 +1,92 @@
+#include "model/parallelism_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace csmt::model {
+
+ArchShape ArchShape::from_preset(core::ArchKind kind) {
+  const core::ArchConfig cfg = core::arch_preset(kind);
+  ArchShape s;
+  s.name = cfg.name;
+  s.max_threads = cfg.threads_per_chip();
+  s.max_width = static_cast<double>(cfg.cluster.width);
+  s.issue_budget = static_cast<double>(cfg.issue_width_per_chip());
+  // FA processors have exactly one thread per cluster: their rectangle is
+  // fixed. Any multithreaded cluster can slide along the hyperbola.
+  s.smt = cfg.cluster.threads > 1;
+  return s;
+}
+
+const char* region_name(Region r) {
+  switch (r) {
+    case Region::kAppLimited: return "app-limited";
+    case Region::kOptimal: return "optimal";
+    case Region::kBothUnderUtilized: return "under-utilized";
+  }
+  return "?";
+}
+
+double peak_performance(const ArchShape& arch) {
+  if (arch.smt) return arch.issue_budget;
+  return static_cast<double>(arch.max_threads) * arch.max_width;
+}
+
+double delivered_performance(const ArchShape& arch, const AppPoint& app) {
+  CSMT_ASSERT(app.threads >= 0 && app.ilp >= 0);
+  if (!arch.smt) {
+    return std::min(app.threads, static_cast<double>(arch.max_threads)) *
+           std::min(app.ilp, arch.max_width);
+  }
+  // SMT: choose the best feasible virtual configuration (p, w) with
+  // p*w <= budget, w <= max_width, p <= max_threads. The optimum uses
+  // either the full app ILP (w = min(ilp, max_width)) with as many threads
+  // as the budget allows, or all app threads with the leftover width.
+  const double w1 = std::min(app.ilp, arch.max_width);
+  const double p1 =
+      std::min({app.threads, static_cast<double>(arch.max_threads),
+                w1 > 0 ? arch.issue_budget / w1 : arch.issue_budget});
+  const double perf1 = p1 * w1;
+
+  const double p2 =
+      std::min(app.threads, static_cast<double>(arch.max_threads));
+  const double w2 =
+      std::min({app.ilp, arch.max_width,
+                p2 > 0 ? arch.issue_budget / p2 : arch.issue_budget});
+  const double perf2 = p2 * w2;
+
+  return std::max(perf1, perf2);
+}
+
+Region classify(const ArchShape& arch, const AppPoint& app) {
+  const double delivered = delivered_performance(arch, app);
+  const double app_demand = app.threads * app.ilp;
+  const double peak = peak_performance(arch);
+  const double eps = 1e-9;
+  const bool app_fully_exploited = delivered + eps >= app_demand;
+  const bool proc_fully_utilized = delivered + eps >= peak;
+  if (proc_fully_utilized) return Region::kOptimal;
+  if (app_fully_exploited) return Region::kAppLimited;
+  return Region::kBothUnderUtilized;
+}
+
+std::vector<ModelRow> rank_architectures(const AppPoint& app) {
+  std::vector<ModelRow> rows;
+  for (const core::ArchKind kind :
+       {core::ArchKind::kFa8, core::ArchKind::kFa4, core::ArchKind::kFa2,
+        core::ArchKind::kFa1, core::ArchKind::kSmt4, core::ArchKind::kSmt2,
+        core::ArchKind::kSmt1}) {
+    const ArchShape shape = ArchShape::from_preset(kind);
+    rows.push_back(
+        {shape, delivered_performance(shape, app), classify(shape, app)});
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const ModelRow& a, const ModelRow& b) {
+                     return a.delivered > b.delivered;
+                   });
+  return rows;
+}
+
+}  // namespace csmt::model

@@ -1,0 +1,73 @@
+// The paper's Section 2 model of parallelism.
+//
+// An application is a point A = (threads, ILP/thread); the performance an
+// architecture can extract is the area of the overlap between A's rectangle
+// (origin-anchored) and the architecture's capability region:
+//
+//  * An FA_k processor (k clusters of width w, k*w = 8) is the fixed
+//    rectangle [0,k] x [0,w]: delivered = min(t,k) * min(i,w).
+//  * An SMT_c processor slides its rectangle along the x*y = 8 hyperbola,
+//    but cannot exceed its per-cluster width on the Y axis: delivered =
+//    max over feasible (p,w') with p*w' <= 8, w' <= width, p <= threads(8)
+//    of min(t,p) * min(i,w').
+//
+// Region classification (Figures 1-d and 1-g):
+//  (1) application fully exploited, processor under-utilized;
+//  (2) processor fully utilized (the optimal region);
+//  (3) both under-utilized.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+
+namespace csmt::model {
+
+/// An application's average parallelism signature (a point in Figure 1-a).
+struct AppPoint {
+  std::string name;
+  double threads = 1.0;    ///< average runnable threads
+  double ilp = 1.0;        ///< average ILP per thread
+};
+
+/// Either kind of 8-issue architecture from §2.
+struct ArchShape {
+  std::string name;
+  unsigned max_threads = 8;   ///< total hardware contexts
+  double max_width = 8.0;     ///< per-thread issue ceiling (cluster width)
+  double issue_budget = 8.0;  ///< total issue slots (the hyperbola constant)
+  bool smt = false;           ///< true: rectangle slides along the hyperbola
+
+  /// Shape for an FA_k / SMT_c preset of Table 2.
+  static ArchShape from_preset(core::ArchKind kind);
+};
+
+enum class Region {
+  kAppLimited,        ///< (1) app fully exploited, processor under-utilized
+  kOptimal,           ///< (2) processor fully utilized
+  kBothUnderUtilized, ///< (3)
+};
+
+const char* region_name(Region r);
+
+/// Performance the architecture delivers for the application, in issue
+/// slots per cycle (area of the exploited rectangle).
+double delivered_performance(const ArchShape& arch, const AppPoint& app);
+
+/// The maximum performance the architecture can ever deliver (its box area).
+double peak_performance(const ArchShape& arch);
+
+/// Classifies where the application falls relative to the architecture.
+Region classify(const ArchShape& arch, const AppPoint& app);
+
+/// Convenience: evaluates every Table 2 architecture against `app`, sorted
+/// by descending delivered performance.
+struct ModelRow {
+  ArchShape arch;
+  double delivered;
+  Region region;
+};
+std::vector<ModelRow> rank_architectures(const AppPoint& app);
+
+}  // namespace csmt::model

@@ -1,0 +1,29 @@
+#include "sim/experiment.hpp"
+
+#include "common/assert.hpp"
+
+namespace csmt::sim {
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  MachineConfig mc;
+  mc.arch = core::arch_preset(spec.arch);
+  if (spec.fetch_policy) mc.arch.fetch_policy = *spec.fetch_policy;
+  mc.chips = spec.chips;
+
+  Machine machine(mc);
+
+  const auto wl = workloads::make_workload(spec.workload);
+  mem::PagedMemory memory;
+  const workloads::WorkloadBuild build =
+      wl->build(memory, mc.total_threads(), spec.scale);
+
+  ExperimentResult result;
+  result.spec = spec;
+  result.stats = machine.run(build.program, memory, build.args_base);
+  CSMT_ASSERT_MSG(!result.stats.timed_out, "simulation watchdog expired");
+  result.validated =
+      wl->validate(memory, build, mc.total_threads(), spec.scale);
+  return result;
+}
+
+}  // namespace csmt::sim

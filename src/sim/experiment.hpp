@@ -1,0 +1,31 @@
+// Experiment: one (workload, architecture, machine) simulation with
+// functional validation — the unit from which every figure is assembled.
+#pragma once
+
+#include <string>
+
+#include "core/arch_config.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace csmt::sim {
+
+struct ExperimentSpec {
+  std::string workload;          ///< one of workloads::workload_names()
+  core::ArchKind arch = core::ArchKind::kSmt2;
+  unsigned chips = 1;            ///< 1 = low-end, 4 = high-end
+  unsigned scale = 3;            ///< workload problem scale
+  /// Optional fetch-policy override (ablation A1); default = preset policy.
+  std::optional<core::FetchPolicy> fetch_policy;
+};
+
+struct ExperimentResult {
+  ExperimentSpec spec;
+  RunStats stats;
+  bool validated = false;  ///< host reference matched the simulated result
+};
+
+/// Builds the workload, runs it on the machine, validates functionally.
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace csmt::sim

@@ -1,0 +1,195 @@
+#include "sim/machine.hpp"
+
+#include "common/assert.hpp"
+
+namespace csmt::sim {
+
+Machine::Machine(const MachineConfig& cfg) : cfg_(cfg) {
+  CSMT_ASSERT(cfg.chips >= 1);
+  if (cfg_.arch.cluster.sync_wake_latency == 0) {
+    // Sync wakeup = re-reading the released sync line: roughly an L2-class
+    // round trip on the low-end machine, a remote round trip on the
+    // high-end one (Table 3 scale).
+    cfg_.arch.cluster.sync_wake_latency = cfg_.chips > 1 ? 40 : 15;
+  }
+  cache::MemoryBackend* backend = nullptr;
+  if (cfg_.chips == 1) {
+    local_backend_ = std::make_unique<cache::LocalMemoryBackend>(cfg_.mem);
+    backend = local_backend_.get();
+  } else {
+    noc::NocParams np = cfg_.noc;
+    np.nodes = cfg_.chips;
+    dash_ = std::make_unique<noc::DashInterconnect>(np, cfg_.mem);
+    backend = dash_.get();
+  }
+  chips_.reserve(cfg_.chips);
+  for (unsigned c = 0; c < cfg_.chips; ++c) {
+    chips_.push_back(std::make_unique<core::Chip>(static_cast<ChipId>(c),
+                                                  cfg_.arch, cfg_.mem,
+                                                  *backend));
+    if (dash_) dash_->attach_chip(&chips_.back()->memsys());
+  }
+}
+
+RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
+                      Addr args_base) {
+  const unsigned nthreads = cfg_.total_threads();
+  exec::ThreadGroup group(program, memory, nthreads, args_base);
+
+  // Block placement: contexts of chip 0 fill first, then chip 1, ... — the
+  // thread running serial sections (tid 0) always lives on chip 0.
+  const unsigned per_chip = cfg_.arch.threads_per_chip();
+  for (unsigned t = 0; t < nthreads; ++t) {
+    chips_[t / per_chip]->attach_thread(&group.thread(t));
+  }
+
+  RunStats out;
+  Cycle now = 0;
+  double running_accum = 0.0;
+  while (true) {
+    bool finished = true;
+    for (auto& chip : chips_) {
+      if (!chip->finished()) {
+        finished = false;
+        break;
+      }
+    }
+    if (finished) break;
+    if (now >= cfg_.max_cycles) {
+      out.timed_out = true;
+      break;
+    }
+    for (auto& chip : chips_) chip->tick(now);
+    unsigned running = 0;
+    for (const auto& chip : chips_) running += chip->running_threads();
+    running_accum += running;
+    ++now;
+  }
+
+  return collect_stats(now, running_accum, out.timed_out);
+}
+
+MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
+  unsigned total = 0;
+  for (const Job& j : jobs) total += j.threads;
+  CSMT_ASSERT_MSG(total == cfg_.total_threads(),
+                  "job thread counts must sum to the machine's contexts");
+
+  // One ThreadGroup per job; each job lives in a disjoint simulated
+  // physical address space (48-bit regions) so the shared caches, MSHRs,
+  // and TLB see them as distinct, like distinct page mappings would.
+  std::vector<std::unique_ptr<exec::ThreadGroup>> groups;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Job& job = jobs[j];
+    groups.push_back(std::make_unique<exec::ThreadGroup>(
+        *job.program, *job.memory, job.threads, job.args_base));
+    for (unsigned t = 0; t < job.threads; ++t) {
+      groups.back()->thread(t).set_timing_addr_offset(static_cast<Addr>(j)
+                                                      << 48);
+    }
+  }
+  // Interleaved placement: contexts are handed out one job at a time in
+  // round-robin, so on SMT organizations the jobs genuinely share each
+  // cluster's issue slots (an FA cluster still holds one thread of one job).
+  {
+    std::vector<unsigned> next(jobs.size(), 0);
+    unsigned slot = 0;
+    bool placed = true;
+    while (placed) {
+      placed = false;
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (next[j] < jobs[j].threads) {
+          chips_[slot / cfg_.arch.threads_per_chip()]->attach_thread(
+              &groups[j]->thread(next[j]++));
+          ++slot;
+          placed = true;
+        }
+      }
+    }
+  }
+
+  MultiRunStats out;
+  out.job_finish.assign(jobs.size(), 0);
+  Cycle now = 0;
+  double running_accum = 0.0;
+  bool timed_out = false;
+  while (true) {
+    bool finished = true;
+    for (auto& chip : chips_) {
+      if (!chip->finished()) {
+        finished = false;
+        break;
+      }
+    }
+    if (finished) break;
+    if (now >= cfg_.max_cycles) {
+      timed_out = true;
+      break;
+    }
+    for (auto& chip : chips_) chip->tick(now);
+    unsigned running = 0;
+    for (const auto& chip : chips_) running += chip->running_threads();
+    running_accum += running;
+    ++now;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (out.job_finish[j] == 0 && groups[j]->all_done()) {
+        out.job_finish[j] = now;
+      }
+    }
+  }
+  out.makespan = now;
+  out.combined = collect_stats(now, running_accum, timed_out);
+  return out;
+}
+
+RunStats Machine::collect_stats(Cycle now, double running_accum,
+                                bool timed_out) {
+  RunStats out;
+  out.timed_out = timed_out;
+  out.cycles = now;
+  out.avg_running_threads =
+      now ? running_accum / static_cast<double>(now) / cfg_.chips : 0.0;
+
+  for (const auto& chip : chips_) {
+    const core::ChipStats cs = chip->stats();
+    out.slots.merge(cs.slots);
+    out.committed_useful += cs.committed_useful;
+    out.committed_sync += cs.committed_sync;
+    out.fetched += cs.fetched;
+    out.predictor.cond_lookups += cs.predictor.cond_lookups;
+    out.predictor.cond_mispredicts += cs.predictor.cond_mispredicts;
+    out.predictor.btb_misses += cs.predictor.btb_misses;
+
+    const cache::MemSysStats& ms = chip->memsys().stats();
+    out.mem.loads += ms.loads;
+    out.mem.stores += ms.stores;
+    for (std::size_t i = 0; i < ms.by_level.size(); ++i)
+      out.mem.by_level[i] += ms.by_level[i];
+    out.mem.bank_rejections += ms.bank_rejections;
+    out.mem.mshr_rejections += ms.mshr_rejections;
+    out.mem.upgrades += ms.upgrades;
+  }
+  // Miss rates: weighted merge across chips.
+  {
+    std::uint64_t l1h = 0, l1m = 0, l2h = 0, l2m = 0, th = 0, tm = 0;
+    for (const auto& chip : chips_) {
+      l1h += chip->memsys().l1_stats().hits;
+      l1m += chip->memsys().l1_stats().misses;
+      l2h += chip->memsys().l2_stats().hits;
+      l2m += chip->memsys().l2_stats().misses;
+      th += chip->memsys().tlb_stats().hits;
+      tm += chip->memsys().tlb_stats().misses;
+    }
+    auto rate = [](std::uint64_t m, std::uint64_t h) {
+      return (m + h) ? static_cast<double>(m) / static_cast<double>(m + h)
+                     : 0.0;
+    };
+    out.mem.l1_miss_rate = rate(l1m, l1h);
+    out.mem.l2_miss_rate = rate(l2m, l2h);
+    out.mem.tlb_miss_rate = rate(tm, th);
+  }
+  if (dash_) out.dash = dash_->stats();
+  return out;
+}
+
+}  // namespace csmt::sim

@@ -1,0 +1,114 @@
+// Machine: the full simulated system. Low-end = one chip over a local
+// memory controller (§5, "a simple workstation"); high-end = four chips over
+// the DASH-like coherent interconnect (§3.4, Figure 3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/backend.hpp"
+#include "common/types.hpp"
+#include "core/chip.hpp"
+#include "exec/thread_group.hpp"
+#include "isa/program.hpp"
+#include "noc/dash.hpp"
+
+namespace csmt::sim {
+
+struct MachineConfig {
+  core::ArchConfig arch;
+  unsigned chips = 1;  ///< 1 = low-end, 4 = high-end (paper's two machines)
+  cache::MemSysParams mem;
+  noc::NocParams noc;
+  /// Watchdog: abort the run (timed_out=true) after this many cycles.
+  Cycle max_cycles = 500'000'000;
+
+  /// Hardware thread contexts across the machine — the paper creates
+  /// exactly this many software threads (§4).
+  unsigned total_threads() const {
+    return chips * arch.threads_per_chip();
+  }
+};
+
+struct MemCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::array<std::uint64_t, 6> by_level = {};  ///< ServiceLevel order
+  std::uint64_t bank_rejections = 0;
+  std::uint64_t mshr_rejections = 0;
+  std::uint64_t upgrades = 0;
+  double l1_miss_rate = 0.0;
+  double l2_miss_rate = 0.0;
+  double tlb_miss_rate = 0.0;
+};
+
+struct RunStats {
+  Cycle cycles = 0;
+  core::SlotStats slots;
+  std::uint64_t committed_useful = 0;
+  std::uint64_t committed_sync = 0;
+  std::uint64_t fetched = 0;
+  bool timed_out = false;
+
+  /// Average number of running (non-halted, non-spinning) threads per chip —
+  /// the Figure 6 x-axis.
+  double avg_running_threads = 0.0;
+
+  branch::PredictorStats predictor;
+  MemCounters mem;
+  std::optional<noc::DashStats> dash;  ///< high-end machines only
+
+  /// Useful instructions committed per cycle across the machine — the
+  /// Figure 6 y-axis when measured on FA1.
+  double useful_ipc() const {
+    return cycles ? static_cast<double>(committed_useful) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+/// One job of a multiprogrammed run: an independent program with its own
+/// functional memory, given `threads` hardware contexts.
+struct Job {
+  const isa::Program* program = nullptr;
+  mem::PagedMemory* memory = nullptr;
+  Addr args_base = 0;
+  unsigned threads = 1;
+};
+
+struct MultiRunStats {
+  Cycle makespan = 0;                ///< all jobs complete
+  std::vector<Cycle> job_finish;     ///< per-job completion cycle
+  RunStats combined;                 ///< machine-wide statistics
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg);
+
+  /// Runs the SPMD `program` over `memory` to completion (all threads
+  /// halted, pipelines drained). One Machine instance runs one program.
+  RunStats run(const isa::Program& program, mem::PagedMemory& memory,
+               Addr args_base);
+
+  /// Multiprogrammed run (the workload style of the paper's SMT citations
+  /// [16,9]): each job runs in its own address space on its own share of
+  /// the machine's hardware contexts; job thread counts must sum to
+  /// total_threads(). One Machine instance runs one such mix.
+  MultiRunStats run_jobs(const std::vector<Job>& jobs);
+
+  const MachineConfig& config() const { return cfg_; }
+  core::Chip& chip(unsigned i) { return *chips_[i]; }
+  unsigned num_chips() const { return static_cast<unsigned>(chips_.size()); }
+
+ private:
+  RunStats collect_stats(Cycle cycles, double running_accum, bool timed_out);
+
+  MachineConfig cfg_;
+  std::unique_ptr<cache::LocalMemoryBackend> local_backend_;
+  std::unique_ptr<noc::DashInterconnect> dash_;
+  std::vector<std::unique_ptr<core::Chip>> chips_;
+};
+
+}  // namespace csmt::sim

@@ -1,0 +1,124 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/hazards.hpp"
+
+namespace csmt::sim {
+namespace {
+
+using core::Slot;
+
+// Legend order of the paper's figures (top-of-bar to bottom):
+// other, structural, memory, data, control, sync, fetch, useful.
+constexpr Slot kLegend[] = {Slot::kOther,  Slot::kStructural, Slot::kMemory,
+                            Slot::kData,   Slot::kControl,    Slot::kSync,
+                            Slot::kFetch,  Slot::kUseful};
+
+/// Baseline cycles per workload (for normalization).
+std::map<std::string, double> baseline_cycles(
+    const std::vector<ExperimentResult>& results,
+    const std::string& baseline_arch) {
+  std::map<std::string, double> base;
+  for (const ExperimentResult& r : results) {
+    if (core::arch_name(r.spec.arch) == baseline_arch) {
+      base[r.spec.workload] = static_cast<double>(r.stats.cycles);
+    }
+  }
+  return base;
+}
+
+double normalized(const ExperimentResult& r,
+                  const std::map<std::string, double>& base) {
+  const auto it = base.find(r.spec.workload);
+  if (it == base.end() || it->second <= 0) return 0.0;
+  return 100.0 * static_cast<double>(r.stats.cycles) / it->second;
+}
+
+}  // namespace
+
+std::string render_figure(const std::string& title,
+                          const std::vector<ExperimentResult>& results,
+                          const std::string& baseline_arch) {
+  const auto base = baseline_cycles(results, baseline_arch);
+
+  std::vector<std::string> names;
+  for (const Slot s : kLegend) names.emplace_back(slot_name(s));
+  // One character cell = 2 normalized units; bars of 100 are 50 cells wide.
+  StackedBarChart chart(names, 2.0);
+
+  for (const ExperimentResult& r : results) {
+    const double norm = normalized(r, base);
+    StackedBar bar;
+    bar.label = r.spec.workload + "/" + core::arch_name(r.spec.arch);
+    for (const Slot s : kLegend) {
+      bar.segments.push_back(norm * r.stats.slots.fraction(s));
+    }
+    chart.add(std::move(bar));
+  }
+
+  std::string out;
+  out += "== " + title + " ==\n";
+  out += "(execution time normalized to " + baseline_arch +
+         " = 100, split by issue-slot category)\n";
+  out += chart.render();
+  return out;
+}
+
+std::string render_normalized_table(
+    const std::vector<ExperimentResult>& results,
+    const std::string& baseline_arch) {
+  const auto base = baseline_cycles(results, baseline_arch);
+
+  // Column per architecture (insertion order), row per workload.
+  std::vector<std::string> archs;
+  std::vector<std::string> workloads;
+  std::map<std::string, std::map<std::string, double>> cell;
+  for (const ExperimentResult& r : results) {
+    const std::string arch = core::arch_name(r.spec.arch);
+    if (std::find(archs.begin(), archs.end(), arch) == archs.end())
+      archs.push_back(arch);
+    if (std::find(workloads.begin(), workloads.end(), r.spec.workload) ==
+        workloads.end())
+      workloads.push_back(r.spec.workload);
+    cell[r.spec.workload][arch] = normalized(r, base);
+  }
+
+  AsciiTable table;
+  std::vector<std::string> header = {"workload"};
+  header.insert(header.end(), archs.begin(), archs.end());
+  table.header(header);
+  for (const std::string& w : workloads) {
+    std::vector<std::string> row = {w};
+    for (const std::string& a : archs) {
+      const auto it = cell[w].find(a);
+      row.push_back(it == cell[w].end() ? "-" : format_fixed(it->second, 1));
+    }
+    table.row(row);
+  }
+  return table.render();
+}
+
+std::string render_summary_table(
+    const std::vector<ExperimentResult>& results) {
+  AsciiTable table;
+  table.header({"workload", "arch", "chips", "cycles", "useful IPC",
+                "useful%", "sync%", "mem%", "avg threads", "valid"});
+  for (const ExperimentResult& r : results) {
+    table.row({r.spec.workload, core::arch_name(r.spec.arch),
+               std::to_string(r.spec.chips),
+               format_count(r.stats.cycles),
+               format_fixed(r.stats.useful_ipc(), 2),
+               format_percent(r.stats.slots.fraction(Slot::kUseful)),
+               format_percent(r.stats.slots.fraction(Slot::kSync)),
+               format_percent(r.stats.slots.fraction(Slot::kMemory)),
+               format_fixed(r.stats.avg_running_threads, 2),
+               r.validated ? "yes" : "NO"});
+  }
+  return table.render();
+}
+
+}  // namespace csmt::sim

@@ -1,0 +1,29 @@
+// Rendering of paper-style figures: normalized execution-time bars with the
+// §4.1 hazard breakdown, plus summary tables. Used by the bench binaries to
+// print the same rows/series the paper's Figures 4/5/7/8 report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace csmt::sim {
+
+/// Renders one figure: for every workload present in `results`, the bar of
+/// each architecture is normalized to that workload's `baseline_arch` run
+/// (= 100 cycles) and segmented by slot category, like the paper's charts.
+std::string render_figure(const std::string& title,
+                          const std::vector<ExperimentResult>& results,
+                          const std::string& baseline_arch);
+
+/// Compact numeric table: workload x architecture -> normalized cycles.
+std::string render_normalized_table(
+    const std::vector<ExperimentResult>& results,
+    const std::string& baseline_arch);
+
+/// One row per run: cycles, useful IPC, hazard shares, validation status.
+std::string render_summary_table(
+    const std::vector<ExperimentResult>& results);
+
+}  // namespace csmt::sim

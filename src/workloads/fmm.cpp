@@ -1,0 +1,361 @@
+// fmm — SPLASH-2 fast multipole method, reduced to its architectural
+// signature: an irregular N-body computation over cells with (a) a parallel
+// multipole-construction phase over cells of *varying* population (load
+// imbalance), (b) a dynamically scheduled interaction phase where threads
+// grab cells off a shared work counter (fetch-and-add) and accumulate
+// fp-dense independent force terms (high per-thread ILP), and (c) a
+// lock-protected update of a global statistics block, then a short serial
+// energy reduction. Figure 6 places fmm center-top: moderate thread count,
+// the highest ILP of the six.
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/util.hpp"
+
+namespace csmt::workloads {
+namespace {
+
+using isa::Freg;
+using isa::Label;
+using isa::Op;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+constexpr double kSoft = 0.35;     // softening constant
+constexpr unsigned kNeighbors = 8; // interaction-list size per cell
+
+enum Slot : unsigned {
+  kBar, kLock, kTask,
+  kCellStart, kCellCount,   // per-cell particle index ranges
+  kPx, kPm,                 // particle positions and masses
+  kMpole,                   // per-cell multipole (2 words per cell)
+  kForce,                   // per-cell accumulated force magnitude
+  kStatsWords,              // lock-protected tally block
+  kNumCells, kChecksum,
+  kConstSoft,
+  kSlotCount,
+};
+
+unsigned num_cells(unsigned scale) { return 16 * scale; }
+
+/// Particles per cell vary cyclically (irregular work): 8, 16, 24, 32, ...
+unsigned cell_pop(unsigned c) { return 8 * (1 + (c % 4)); }
+
+class Fmm final : public Workload {
+ public:
+  const char* name() const override { return "fmm"; }
+
+  WorkloadBuild build(mem::PagedMemory& memory, unsigned /*nthreads*/,
+                      unsigned scale) const override {
+    CSMT_ASSERT(scale >= 1);
+    const unsigned cells = num_cells(scale);
+    unsigned total = 0;
+    std::vector<unsigned> start(cells), count(cells);
+    for (unsigned c = 0; c < cells; ++c) {
+      start[c] = total;
+      count[c] = cell_pop(c);
+      total += count[c];
+    }
+
+    mem::SimAlloc alloc;
+    ArgsBlock args(memory, alloc, kSlotCount);
+    const Addr bar = alloc.alloc_sync_line();
+    const Addr lock = alloc.alloc_sync_line();
+    const Addr task = alloc.alloc_sync_line();
+    const Addr cell_start = alloc.alloc_words(cells, 64);
+    const Addr cell_count = alloc.alloc_words(cells, 64);
+    const Addr px = alloc.alloc_words(total, 64);
+    const Addr pm = alloc.alloc_words(total, 64);
+    const Addr mpole = alloc.alloc_words(2ull * cells, 64);
+    const Addr force = alloc.alloc_words(cells, 64);
+    const Addr stats = alloc.alloc_words(8, 64);
+
+    for (unsigned c = 0; c < cells; ++c) {
+      memory.write(cell_start + 8ull * c, start[c]);
+      memory.write(cell_count + 8ull * c, count[c]);
+    }
+    fill_doubles(memory, px, total, -2.0, 2.0);
+    fill_doubles(memory, pm, total, 0.1, 1.1);
+
+    args.set_addr(kBar, bar);
+    args.set_addr(kLock, lock);
+    args.set_addr(kTask, task);
+    args.set_addr(kCellStart, cell_start);
+    args.set_addr(kCellCount, cell_count);
+    args.set_addr(kPx, px);
+    args.set_addr(kPm, pm);
+    args.set_addr(kMpole, mpole);
+    args.set_addr(kForce, force);
+    args.set_addr(kStatsWords, stats);
+    args.set(kNumCells, cells);
+    memory.write_double(args.base() + 8ull * kConstSoft, kSoft);
+
+    return {emit(cells), args.base()};
+  }
+
+  bool validate(const mem::PagedMemory& memory, const WorkloadBuild& b,
+                unsigned /*nthreads*/, unsigned scale) const override {
+    const double expect = host_checksum(num_cells(scale));
+    const double got = memory.read_double(b.args_base + 8ull * kChecksum);
+    return std::abs(got - expect) <= 1e-9 * (1.0 + std::abs(expect));
+  }
+
+ private:
+  static isa::Program emit(unsigned cells) {
+    ProgramBuilder b("fmm");
+    const auto C = static_cast<std::int64_t>(cells);
+
+    Reg bar = b.ireg(), sense = b.ireg(), lock = b.ireg(), task = b.ireg();
+    ArgsBlock::emit_load(b, bar, kBar);
+    ArgsBlock::emit_load(b, lock, kLock);
+    ArgsBlock::emit_load(b, task, kTask);
+    b.li(sense, 0);
+
+    Reg cstart = b.ireg(), ccount = b.ireg(), px = b.ireg(), pm = b.ireg(),
+        mpole = b.ireg(), force = b.ireg(), stats = b.ireg();
+    ArgsBlock::emit_load(b, cstart, kCellStart);
+    ArgsBlock::emit_load(b, ccount, kCellCount);
+    ArgsBlock::emit_load(b, px, kPx);
+    ArgsBlock::emit_load(b, pm, kPm);
+    ArgsBlock::emit_load(b, mpole, kMpole);
+    ArgsBlock::emit_load(b, force, kForce);
+    ArgsBlock::emit_load(b, stats, kStatsWords);
+
+    Freg soft = b.freg();
+    b.fld(soft, ProgramBuilder::args(), 8 * kConstSoft);
+
+    Reg ncells = b.ireg();
+    b.li(ncells, C);
+
+    // ---- phase 1 (parallel, static partition): cell multipoles ----
+    // mpole[c] = (sum m_k * x_k, sum m_k); cells have unequal populations,
+    // so the static partition is imbalanced like the real tree build.
+    {
+      Reg lo = b.ireg(), hi = b.ireg(), c = b.ireg(), k = b.ireg(),
+          ptr = b.ireg(), cnt = b.ireg(), pptr = b.ireg(), mptr = b.ireg();
+      emit_partition(b, ncells, lo, hi);
+      b.for_range(c, lo, hi, 1, [&] {
+        b.slli(ptr, c, 3);
+        b.add(ptr, cstart, ptr);
+        b.ld(k, ptr, 0);                 // k = start index
+        b.slli(ptr, c, 3);
+        b.add(ptr, ccount, ptr);
+        b.ld(cnt, ptr, 0);               // cnt = population
+        b.add(cnt, cnt, k);              // cnt = end index
+        b.slli(pptr, k, 3);
+        b.add(mptr, pm, pptr);
+        b.add(pptr, px, pptr);
+        Freg accx = b.freg(), accm = b.freg(), xv = b.freg(), mv = b.freg(),
+             t = b.freg();
+        b.fsub(accx, accx, accx);
+        b.fsub(accm, accm, accm);
+        b.for_range(k, k, cnt, 1, [&] {
+          b.fld(xv, pptr, 0);
+          b.fld(mv, mptr, 0);
+          b.fmul(t, xv, mv);
+          b.fadd(accx, accx, t);
+          b.fadd(accm, accm, mv);
+          b.addi(pptr, pptr, 8);
+          b.addi(mptr, mptr, 8);
+        });
+        b.slli(ptr, c, 4);               // 2 words per cell
+        b.add(ptr, mpole, ptr);
+        b.fst(ptr, 0, accx);
+        b.fst(ptr, 8, accm);
+        for (Freg f : {accx, accm, xv, mv, t}) b.release(f);
+      });
+      b.release(lo);
+      b.release(hi);
+      b.release(c);
+      b.release(k);
+      b.release(ptr);
+      b.release(cnt);
+      b.release(pptr);
+      b.release(mptr);
+    }
+    b.barrier(bar, ProgramBuilder::nthreads());
+
+    // ---- phase 2 (parallel, dynamic): cell-cell interactions ----
+    // Threads fetch-and-add the shared task counter for the next cell,
+    // then accumulate softened pairwise terms against its interaction list
+    // (kNeighbors consecutive cells, wrapping) — four independent fp chains.
+    {
+      Reg c = b.ireg(), one = b.ireg(), nb = b.ireg(), idx = b.ireg(),
+          ptr = b.ireg(), done = b.ireg(), mywork = b.ireg();
+      b.li(one, 1);
+      b.li(mywork, 0);
+      Label loop = b.new_label(), out = b.new_label();
+      b.bind(loop);
+      // c = atomic task++ (sync-tagged: it is scheduler overhead).
+      b.sync_begin();
+      b.amoadd(c, task, one);
+      b.sync_end();
+      b.bge(c, ncells, out);
+      b.addi(mywork, mywork, 1);
+      {
+        // Two interactions per iteration: independent fdiv chains give fmm
+        // the highest per-thread ILP of the six applications (Figure 6).
+        Freg myx = b.freg(), mym = b.freg();
+        Freg pA = b.freg(), fA = b.freg(), pB = b.freg(), fB = b.freg();
+        Freg ox = b.freg(), om = b.freg(), d = b.freg(), d2 = b.freg(),
+             t = b.freg();
+        Freg oxб = b.freg(), omб = b.freg(), dб = b.freg(), d2б = b.freg(),
+             tб = b.freg();
+        b.slli(ptr, c, 4);
+        b.add(ptr, mpole, ptr);
+        b.fld(myx, ptr, 0);
+        b.fld(mym, ptr, 8);
+        b.fsub(pA, pA, pA);
+        b.fsub(fA, fA, fA);
+        b.fsub(pB, pB, pB);
+        b.fsub(fB, fB, fB);
+        Reg lim = b.ireg(), idx2 = b.ireg(), ptr2 = b.ireg();
+        b.li(lim, kNeighbors + 1);
+        b.for_range(nb, 1, lim, 2, [&] {
+          // idxA = (c + nb) % ncells, idxB = (c + nb + 1) % ncells.
+          b.add(idx, c, nb);
+          b.rem(idx, idx, ncells);
+          b.slli(ptr, idx, 4);
+          b.add(ptr, mpole, ptr);
+          b.add(idx2, c, nb);
+          b.addi(idx2, idx2, 1);
+          b.rem(idx2, idx2, ncells);
+          b.slli(ptr2, idx2, 4);
+          b.add(ptr2, mpole, ptr2);
+          b.fld(ox, ptr, 0);
+          b.fld(om, ptr, 8);
+          b.fld(oxб, ptr2, 0);
+          b.fld(omб, ptr2, 8);
+          b.fsub(d, myx, ox);
+          b.fsub(dб, myx, oxб);
+          b.fmul(d2, d, d);
+          b.fmul(d2б, dб, dб);
+          b.fadd(d2, d2, soft);
+          b.fadd(d2б, d2б, soft);
+          b.fmul(t, mym, om);
+          b.fmul(tб, mym, omб);
+          b.fdiv_d(t, t, d2);
+          b.fdiv_d(tб, tб, d2б);
+          b.fadd(pA, pA, t);
+          b.fadd(pB, pB, tб);
+          b.fmul(t, t, d);
+          b.fmul(tб, tб, dб);
+          b.fadd(fA, fA, t);
+          b.fadd(fB, fB, tб);
+        });
+        b.fadd(pA, pA, fA);
+        b.fadd(pB, pB, fB);
+        b.fadd(pA, pA, pB);
+        b.slli(ptr, c, 3);
+        b.add(ptr, force, ptr);
+        b.fst(ptr, 0, pA);
+        b.release(lim);
+        b.release(idx2);
+        b.release(ptr2);
+        for (Freg f : {myx, mym, pA, fA, pB, fB, ox, om, d, d2, t,
+                       oxб, omб, dб, d2б, tб})
+          b.release(f);
+      }
+      b.j(loop);
+      b.bind(out);
+      // Lock-protected tally: how many cells this thread processed.
+      b.lock_acquire(lock);
+      b.ld(idx, stats, 0);
+      b.add(idx, idx, mywork);
+      b.st(stats, 0, idx);
+      b.lock_release(lock);
+      b.release(c);
+      b.release(one);
+      b.release(nb);
+      b.release(idx);
+      b.release(ptr);
+      b.release(done);
+      b.release(mywork);
+    }
+    b.barrier(bar, ProgramBuilder::nthreads());
+
+    // ---- phase 3 (serial): energy reduction over per-cell forces ----
+    Label fin = b.new_label();
+    b.bne(ProgramBuilder::tid(), ProgramBuilder::zero(), fin);
+    {
+      Freg acc = b.freg(), t = b.freg();
+      b.fsub(acc, acc, acc);
+      Reg k = b.ireg(), ptr = b.ireg();
+      b.mov(ptr, force);
+      b.for_range(k, 0, ncells, 1, [&] {
+        b.fld(t, ptr, 0);
+        b.fadd(acc, acc, t);
+        b.addi(ptr, ptr, 8);
+      });
+      // Fold the integer tally in as well (it must equal ncells).
+      b.ld(k, stats, 0);
+      Freg ft = b.freg();
+      b.fcvt_i2f(ft, k);
+      b.fadd(acc, acc, ft);
+      b.fst(ProgramBuilder::args(), 8 * kChecksum, acc);
+      b.release(k);
+      b.release(ptr);
+      b.release(acc);
+      b.release(t);
+      b.release(ft);
+    }
+    b.bind(fin);
+    b.halt();
+    return b.take();
+  }
+
+  static double host_checksum(unsigned cells) {
+    unsigned total = 0;
+    std::vector<unsigned> start(cells), count(cells);
+    for (unsigned c = 0; c < cells; ++c) {
+      start[c] = total;
+      count[c] = cell_pop(c);
+      total += count[c];
+    }
+    std::vector<double> px(total), pm(total);
+    for (unsigned k = 0; k < total; ++k) {
+      px[k] = fill_value(k, -2.0, 2.0);
+      pm[k] = fill_value(k, 0.1, 1.1);
+    }
+    std::vector<double> mx(cells, 0.0), mm(cells, 0.0), force(cells, 0.0);
+    for (unsigned c = 0; c < cells; ++c) {
+      double accx = 0.0, accm = 0.0;
+      for (unsigned k = start[c]; k < start[c] + count[c]; ++k) {
+        accx += px[k] * pm[k];
+        accm += pm[k];
+      }
+      mx[c] = accx;
+      mm[c] = accm;
+    }
+    for (unsigned c = 0; c < cells; ++c) {
+      double pa = 0.0, fa = 0.0, pb = 0.0, fb = 0.0;
+      for (unsigned nb = 1; nb <= kNeighbors; nb += 2) {
+        const unsigned oa = (c + nb) % cells;
+        const double da = mx[c] - mx[oa];
+        double ta = (mm[c] * mm[oa]) / (da * da + kSoft);
+        pa += ta;
+        ta *= da;
+        fa += ta;
+        const unsigned ob = (c + nb + 1) % cells;
+        const double db = mx[c] - mx[ob];
+        double tb = (mm[c] * mm[ob]) / (db * db + kSoft);
+        pb += tb;
+        tb *= db;
+        fb += tb;
+      }
+      force[c] = (pa + fa) + (pb + fb);
+    }
+    double acc = 0.0;
+    for (unsigned c = 0; c < cells; ++c) acc += force[c];
+    acc += static_cast<double>(cells);  // the integer tally
+    return acc;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_fmm() { return std::make_unique<Fmm>(); }
+
+}  // namespace csmt::workloads

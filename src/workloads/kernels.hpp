@@ -1,0 +1,17 @@
+// Internal factory functions, one per application (see registry.cpp).
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace csmt::workloads {
+
+std::unique_ptr<Workload> make_swim();
+std::unique_ptr<Workload> make_tomcatv();
+std::unique_ptr<Workload> make_mgrid();
+std::unique_ptr<Workload> make_vpenta();
+std::unique_ptr<Workload> make_fmm();
+std::unique_ptr<Workload> make_ocean();
+
+}  // namespace csmt::workloads

@@ -1,0 +1,438 @@
+// mgrid — SPEC95 multigrid solver, restructured as a 2D V-cycle. The
+// defining property is *level-dependent* parallelism: relaxation and
+// transfer operators parallelize over rows, so on fine grids all threads
+// work while on coarse grids most spin (natural load imbalance), and the
+// coarsest solve is serial. That places mgrid mid-chart in Figure 6.
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/util.hpp"
+
+namespace csmt::workloads {
+namespace {
+
+using isa::Freg;
+using isa::Label;
+using isa::Op;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+constexpr double kOmega = 0.8;
+constexpr double kQuarter = 0.25;
+constexpr unsigned kCycles = 2;   // V-cycles
+constexpr unsigned kLevels = 3;   // finest, mid, coarse
+
+enum Slot : unsigned {
+  kBar,
+  kU0, kU1, kU2,       // solution grids, finest -> coarsest
+  kR0, kR1, kR2,       // right-hand sides / residuals
+  kW0, kW1, kW2,       // Jacobi scratch grids
+  kChecksum, kPartials,
+  kConstOmega, kConstQuarter,
+  kSlotCount,
+};
+
+unsigned fine_n(unsigned scale) { return 16 * scale; }
+
+class Mgrid final : public Workload {
+ public:
+  const char* name() const override { return "mgrid"; }
+
+  WorkloadBuild build(mem::PagedMemory& memory, unsigned nthreads,
+                      unsigned scale) const override {
+    CSMT_ASSERT(scale >= 1 && nthreads >= 1);
+    const unsigned n0 = fine_n(scale);
+    CSMT_ASSERT_MSG(n0 % 4 == 0, "fine grid must be divisible by 4");
+
+    mem::SimAlloc alloc;
+    ArgsBlock args(memory, alloc, kSlotCount);
+    const Addr bar = alloc.alloc_sync_line();
+    Addr u[kLevels], r[kLevels], w[kLevels];
+    for (unsigned l = 0; l < kLevels; ++l) {
+      const std::size_t cells =
+          static_cast<std::size_t>(n0 >> l) * (n0 >> l);
+      u[l] = alloc.alloc_words(cells, 64);
+      r[l] = alloc.alloc_words(cells, 64);
+      w[l] = alloc.alloc_words(cells, 64);
+    }
+    fill_doubles(memory, r[0], static_cast<std::size_t>(n0) * n0, -1.0, 1.0);
+    const Addr partials = alloc.alloc_words(nthreads, 64);
+
+    args.set_addr(kBar, bar);
+    args.set_addr(kU0, u[0]);
+    args.set_addr(kU1, u[1]);
+    args.set_addr(kU2, u[2]);
+    args.set_addr(kR0, r[0]);
+    args.set_addr(kR1, r[1]);
+    args.set_addr(kR2, r[2]);
+    args.set_addr(kW0, w[0]);
+    args.set_addr(kW1, w[1]);
+    args.set_addr(kW2, w[2]);
+    args.set_addr(kPartials, partials);
+    memory.write_double(args.base() + 8ull * kConstOmega, kOmega);
+    memory.write_double(args.base() + 8ull * kConstQuarter, kQuarter);
+
+    return {emit(n0), args.base()};
+  }
+
+  bool validate(const mem::PagedMemory& memory, const WorkloadBuild& b,
+                unsigned nthreads, unsigned scale) const override {
+    const double expect = host_checksum(fine_n(scale), nthreads);
+    const double got = memory.read_double(b.args_base + 8ull * kChecksum);
+    return std::abs(got - expect) <= 1e-9 * (1.0 + std::abs(expect));
+  }
+
+ private:
+  static isa::Program emit(unsigned n0) {
+    ProgramBuilder b("mgrid");
+
+    Reg bar = b.ireg(), sense = b.ireg();
+    ArgsBlock::emit_load(b, bar, kBar);
+    b.li(sense, 0);
+
+    Reg u[kLevels] = {b.ireg(), b.ireg(), b.ireg()};
+    Reg r[kLevels] = {b.ireg(), b.ireg(), b.ireg()};
+    Reg w[kLevels] = {b.ireg(), b.ireg(), b.ireg()};
+    ArgsBlock::emit_load(b, u[0], kU0);
+    ArgsBlock::emit_load(b, u[1], kU1);
+    ArgsBlock::emit_load(b, u[2], kU2);
+    ArgsBlock::emit_load(b, r[0], kR0);
+    ArgsBlock::emit_load(b, r[1], kR1);
+    ArgsBlock::emit_load(b, r[2], kR2);
+    ArgsBlock::emit_load(b, w[0], kW0);
+    ArgsBlock::emit_load(b, w[1], kW1);
+    ArgsBlock::emit_load(b, w[2], kW2);
+
+    Freg omega = b.freg(), quarter = b.freg();
+    b.fld(omega, ProgramBuilder::args(), 8 * kConstOmega);
+    b.fld(quarter, ProgramBuilder::args(), 8 * kConstQuarter);
+
+    Reg i = b.ireg(), j = b.ireg(), lo = b.ireg(), hi = b.ireg(),
+        bound = b.ireg(), off = b.ireg(), pin = b.ireg(), pout = b.ireg(),
+        cyc = b.ireg(), cycles = b.ireg();
+    b.li(cycles, kCycles);
+
+    // Partition of the interior rows of an n x n level: [lo+1, hi+1).
+    auto partition_level = [&](std::int64_t n) {
+      b.li(bound, n - 2);
+      emit_partition(b, bound, lo, hi);
+      b.addi(lo, lo, 1);
+      b.addi(hi, hi, 1);
+    };
+
+    // Weighted-Jacobi relaxation, two-array form (like the SPEC original's
+    // separate-array sweeps): w = u + omega*(quarter*(stencil) - u), then a
+    // copy-back pass. Both passes are parallel over rows and barriered.
+    auto relax = [&](Reg ul, Reg rl, Reg wl, std::int64_t n) {
+      partition_level(n);
+      const std::int64_t rb = 8 * n;
+      Reg pw = b.ireg();
+      b.for_range(i, lo, hi, 1, [&] {
+        b.li(off, n);
+        b.mul(off, i, off);
+        b.addi(off, off, 1);
+        b.slli(off, off, 3);
+        b.add(pin, ul, off);
+        b.add(pout, rl, off);
+        b.add(pw, wl, off);
+        b.li(bound, n - 1);
+        b.for_range(j, 1, bound, 1, [&] {
+          Freg e = b.freg(), ww = b.freg(), nn = b.freg(), s = b.freg();
+          Freg c = b.freg(), rr = b.freg(), t = b.freg();
+          b.fld(e, pin, 8);
+          b.fld(ww, pin, -8);
+          b.fld(nn, pin, -rb);
+          b.fld(s, pin, rb);
+          b.fld(c, pin, 0);
+          b.fld(rr, pout, 0);
+          b.fadd(t, e, ww);
+          b.fadd(e, nn, s);
+          b.fadd(t, t, e);
+          b.fadd(t, t, rr);
+          b.fmul(t, t, quarter);
+          b.fsub(t, t, c);
+          b.fmul(t, t, omega);
+          b.fadd(c, c, t);
+          b.fst(pw, 0, c);
+          b.addi(pin, pin, 8);
+          b.addi(pout, pout, 8);
+          b.addi(pw, pw, 8);
+          for (Freg f : {e, ww, nn, s, c, rr, t}) b.release(f);
+        });
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+      b.for_range(i, lo, hi, 1, [&] {
+        b.li(off, n);
+        b.mul(off, i, off);
+        b.addi(off, off, 1);
+        b.slli(off, off, 3);
+        b.add(pin, ul, off);
+        b.add(pw, wl, off);
+        b.li(bound, n - 1);
+        Freg t = b.freg();
+        b.for_range(j, 1, bound, 1, [&] {
+          b.fld(t, pw, 0);
+          b.fst(pin, 0, t);
+          b.addi(pin, pin, 8);
+          b.addi(pw, pw, 8);
+        });
+        b.release(t);
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+      b.release(pw);
+    };
+
+    // Restriction: r_coarse[i][j] = quarter * residual-average of the four
+    // fine cells (2i,2j) (2i+1,2j) (2i,2j+1) (2i+1,2j+1) of r_fine - u_fine.
+    auto restrict_to = [&](Reg rf, Reg uf, Reg rc, std::int64_t nf) {
+      const std::int64_t nc = nf / 2;
+      partition_level(nc);
+      const std::int64_t rbf = 8 * nf;
+      b.for_range(i, lo, hi, 1, [&] {
+        // fine row 2i, column 2: pin = rf + (2i*nf + 2)*8 (paired with uf)
+        b.li(off, 2 * nf);
+        b.mul(off, i, off);
+        b.addi(off, off, 2);
+        b.slli(off, off, 3);
+        b.add(pin, rf, off);
+        Reg pin2 = b.ireg();
+        b.add(pin2, uf, off);
+        b.li(off, nc);
+        b.mul(off, i, off);
+        b.addi(off, off, 1);
+        b.slli(off, off, 3);
+        b.add(pout, rc, off);
+        b.li(bound, nc - 1);
+        b.for_range(j, 1, bound, 1, [&] {
+          Freg a0 = b.freg(), a1 = b.freg(), a2 = b.freg(), a3 = b.freg();
+          Freg t = b.freg(), uu = b.freg();
+          b.fld(a0, pin, 0);
+          b.fld(a1, pin, 8);
+          b.fld(a2, pin, rbf);
+          b.fld(a3, pin, rbf + 8);
+          b.fadd(a0, a0, a1);
+          b.fadd(a2, a2, a3);
+          b.fadd(a0, a0, a2);
+          b.fld(uu, pin2, 0);
+          b.fsub(a0, a0, uu);
+          b.fmul(t, a0, quarter);
+          b.fst(pout, 0, t);
+          b.addi(pin, pin, 16);
+          b.addi(pin2, pin2, 16);
+          b.addi(pout, pout, 8);
+          for (Freg f : {a0, a1, a2, a3, t, uu}) b.release(f);
+        });
+        b.release(pin2);
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+    };
+
+    // Interpolation: u_fine[2i][2j] += u_coarse[i][j] (injection), plus the
+    // odd points get the average of their even neighbours along the row.
+    auto interpolate = [&](Reg uc, Reg uf, std::int64_t nf) {
+      const std::int64_t nc = nf / 2;
+      partition_level(nc);
+      b.for_range(i, lo, hi, 1, [&] {
+        b.li(off, nc);
+        b.mul(off, i, off);
+        b.addi(off, off, 1);
+        b.slli(off, off, 3);
+        b.add(pin, uc, off);
+        b.li(off, 2 * nf);
+        b.mul(off, i, off);
+        b.addi(off, off, 2);
+        b.slli(off, off, 3);
+        b.add(pout, uf, off);
+        b.li(bound, nc - 1);
+        b.for_range(j, 1, bound, 1, [&] {
+          Freg cv = b.freg(), fv = b.freg(), t = b.freg();
+          b.fld(cv, pin, 0);
+          b.fld(fv, pout, 0);
+          b.fadd(fv, fv, cv);
+          b.fst(pout, 0, fv);
+          b.fld(t, pout, 8);
+          b.fmul(cv, cv, quarter);
+          b.fadd(t, t, cv);
+          b.fst(pout, 8, t);
+          b.addi(pin, pin, 8);
+          b.addi(pout, pout, 16);
+          for (Freg f : {cv, fv, t}) b.release(f);
+        });
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+    };
+
+    const std::int64_t n[kLevels] = {fineN(n0), fineN(n0) / 2, fineN(n0) / 4};
+
+    b.for_range(cyc, 0, cycles, 1, [&] {
+      relax(u[0], r[0], w[0], n[0]);
+      restrict_to(r[0], u[0], r[1], n[0]);
+      relax(u[1], r[1], w[1], n[1]);
+      restrict_to(r[1], u[1], r[2], n[1]);
+
+      // Coarsest solve: serial relaxation sweeps by thread 0.
+      Label skip = b.new_label();
+      b.bne(ProgramBuilder::tid(), ProgramBuilder::zero(), skip);
+      {
+        const std::int64_t nn2 = n[2];
+        const std::int64_t rb = 8 * nn2;
+        Reg sweep = b.ireg(), sweeps = b.ireg();
+        b.li(sweeps, 4);
+        b.for_range(sweep, 0, sweeps, 1, [&] {
+          b.li(bound, nn2 - 1);
+          b.for_range(i, 1, bound, 1, [&] {
+            b.li(off, nn2);
+            b.mul(off, i, off);
+            b.addi(off, off, 1);
+            b.slli(off, off, 3);
+            b.add(pin, u[2], off);
+            b.add(pout, r[2], off);
+            Reg jb = b.ireg();
+            b.li(jb, nn2 - 1);
+            b.for_range(j, 1, jb, 1, [&] {
+              Freg e = b.freg(), w = b.freg(), nn = b.freg(), s = b.freg();
+              Freg c = b.freg(), rr = b.freg(), t = b.freg();
+              b.fld(e, pin, 8);
+              b.fld(w, pin, -8);
+              b.fld(nn, pin, -rb);
+              b.fld(s, pin, rb);
+              b.fld(c, pin, 0);
+              b.fld(rr, pout, 0);
+              b.fadd(t, e, w);
+              b.fadd(e, nn, s);
+              b.fadd(t, t, e);
+              b.fadd(t, t, rr);
+              b.fmul(t, t, quarter);
+              b.fsub(t, t, c);
+              b.fmul(t, t, omega);
+              b.fadd(c, c, t);
+              b.fst(pin, 0, c);
+              b.addi(pin, pin, 8);
+              b.addi(pout, pout, 8);
+              for (Freg f : {e, w, nn, s, c, rr, t}) b.release(f);
+            });
+            b.release(jb);
+          });
+        });
+        b.release(sweep);
+        b.release(sweeps);
+      }
+      b.bind(skip);
+      b.barrier(bar, ProgramBuilder::nthreads());
+
+      interpolate(u[2], u[1], n[1]);
+      relax(u[1], r[1], w[1], n[1]);
+      interpolate(u[1], u[0], n[0]);
+      relax(u[0], r[0], w[0], n[0]);
+    });
+
+    // Parallel checksum epilogue over the fine solution. Free dead loop
+    // registers first so the epilogue can allocate its temporaries.
+    for (Reg r : {pin, pout, cyc, cycles, off, bound, i, j}) b.release(r);
+    Reg partials = b.ireg();
+    ArgsBlock::emit_load(b, partials, kPartials);
+    emit_checksum_epilogue(b, {u[0]}, n[0] * n[0] / 4, 4, partials, bar,
+                           kChecksum);
+    b.halt();
+    return b.take();
+  }
+
+  static std::int64_t fineN(unsigned n0) {
+    return static_cast<std::int64_t>(n0);
+  }
+
+  // --- host reference -----------------------------------------------------
+  // Two-array Jacobi, mirroring the emitted kernel's operation order
+  // ((e+w) + (n+s) + r, then scale).
+  static void host_relax(std::vector<double>& u, const std::vector<double>& r,
+                         unsigned n) {
+    std::vector<double> w(u);
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        const std::size_t k = i * n + j;
+        const double t =
+            kQuarter * (((u[k + 1] + u[k - 1]) + (u[k - n] + u[k + n])) +
+                        r[k]) -
+            u[k];
+        w[k] = u[k] + kOmega * t;
+      }
+    }
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        u[i * n + j] = w[i * n + j];
+      }
+    }
+  }
+
+  // In-place Gauss-Seidel used only by the serial coarsest solve.
+  static void host_gs_relax(std::vector<double>& u,
+                            const std::vector<double>& r, unsigned n) {
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = 1; j + 1 < n; ++j) {
+        const std::size_t k = i * n + j;
+        const double t =
+            kQuarter * (((u[k + 1] + u[k - 1]) + (u[k - n] + u[k + n])) +
+                        r[k]) -
+            u[k];
+        u[k] += kOmega * t;
+      }
+    }
+  }
+
+  static double host_checksum(unsigned n0, unsigned nthreads) {
+    const unsigned n1 = n0 / 2, n2 = n0 / 4;
+    std::vector<double> u0(static_cast<std::size_t>(n0) * n0, 0.0);
+    std::vector<double> u1(static_cast<std::size_t>(n1) * n1, 0.0);
+    std::vector<double> u2(static_cast<std::size_t>(n2) * n2, 0.0);
+    std::vector<double> r0(u0.size()), r1(u1.size(), 0.0), r2(u2.size(), 0.0);
+    for (std::size_t k = 0; k < r0.size(); ++k)
+      r0[k] = fill_value(k, -1.0, 1.0);
+
+    auto restrict_to = [](const std::vector<double>& rf,
+                          const std::vector<double>& uf,
+                          std::vector<double>& rc, unsigned nf) {
+      const unsigned nc = nf / 2;
+      for (std::size_t i = 1; i + 1 < nc; ++i) {
+        for (std::size_t j = 1; j + 1 < nc; ++j) {
+          const std::size_t f = 2 * i * nf + 2 * j;
+          const double sum =
+              ((rf[f] + rf[f + 1]) + (rf[f + nf] + rf[f + nf + 1])) - uf[f];
+          rc[i * nc + j] = kQuarter * sum;
+        }
+      }
+    };
+    auto interpolate = [](const std::vector<double>& uc,
+                          std::vector<double>& uf, unsigned nf) {
+      const unsigned nc = nf / 2;
+      for (std::size_t i = 1; i + 1 < nc; ++i) {
+        for (std::size_t j = 1; j + 1 < nc; ++j) {
+          const double cv = uc[i * nc + j];
+          const std::size_t f = 2 * i * nf + 2 * j;
+          uf[f] += cv;
+          uf[f + 1] += kQuarter * cv;
+        }
+      }
+    };
+
+    for (unsigned c = 0; c < kCycles; ++c) {
+      host_relax(u0, r0, n0);
+      restrict_to(r0, u0, r1, n0);
+      host_relax(u1, r1, n1);
+      restrict_to(r1, u1, r2, n1);
+      for (int s = 0; s < 4; ++s) host_gs_relax(u2, r2, n2);
+      interpolate(u2, u1, n1);
+      host_relax(u1, r1, n1);
+      interpolate(u1, u0, n0);
+      host_relax(u0, r0, n0);
+    }
+    return host_checksum_epilogue({&u0}, u0.size() / 4, 4, nthreads, 0.0);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_mgrid() { return std::make_unique<Mgrid>(); }
+
+}  // namespace csmt::workloads

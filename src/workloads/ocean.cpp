@@ -1,0 +1,242 @@
+// ocean — SPLASH-2 ocean circulation, reduced to its architectural
+// signature: red-black successive-over-relaxation sweeps over a large grid
+// with a barrier after every half-sweep and a small serial convergence
+// check each iteration. Nearly the whole run is parallel (Figure 6 places
+// ocean bottom-right: the highest thread count), and the sparse stencil —
+// few fp ops between loads — keeps per-thread ILP low. The barrier-per-
+// half-sweep rhythm is what makes ocean's sync share grow on the high-end
+// machine.
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/util.hpp"
+
+namespace csmt::workloads {
+namespace {
+
+using isa::Freg;
+using isa::Label;
+using isa::Op;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+constexpr double kOmega = 0.61;
+constexpr double kQuarter = 0.25;
+constexpr unsigned kIters = 4;
+
+enum Slot : unsigned {
+  kBar, kGrid, kRhs, kResid, kChecksum, kPartials,
+  kConstOmega, kConstQuarter,
+  kSlotCount,
+};
+
+unsigned grid_n(unsigned scale) { return 16 * scale; }
+
+class Ocean final : public Workload {
+ public:
+  const char* name() const override { return "ocean"; }
+
+  WorkloadBuild build(mem::PagedMemory& memory, unsigned nthreads,
+                      unsigned scale) const override {
+    CSMT_ASSERT(scale >= 1 && nthreads >= 1);
+    const unsigned n = grid_n(scale);
+    const std::size_t cells = static_cast<std::size_t>(n) * n;
+
+    mem::SimAlloc alloc;
+    ArgsBlock args(memory, alloc, kSlotCount);
+    const Addr bar = alloc.alloc_sync_line();
+    const Addr grid = alloc.alloc_words(cells, 64);
+    const Addr rhs = alloc.alloc_words(cells, 64);
+    const Addr resid = alloc.alloc_sync_line();
+    const Addr partials = alloc.alloc_words(nthreads, 64);
+
+    fill_doubles(memory, grid, cells, -1.0, 1.0);
+    fill_doubles(memory, rhs, cells, -0.2, 0.2);
+
+    args.set_addr(kBar, bar);
+    args.set_addr(kGrid, grid);
+    args.set_addr(kRhs, rhs);
+    args.set_addr(kResid, resid);
+    args.set_addr(kPartials, partials);
+    memory.write_double(args.base() + 8ull * kConstOmega, kOmega);
+    memory.write_double(args.base() + 8ull * kConstQuarter, kQuarter);
+
+    return {emit(n), args.base()};
+  }
+
+  bool validate(const mem::PagedMemory& memory, const WorkloadBuild& b,
+                unsigned nthreads, unsigned scale) const override {
+    const double expect = host_checksum(grid_n(scale), nthreads);
+    const double got = memory.read_double(b.args_base + 8ull * kChecksum);
+    return std::abs(got - expect) <= 1e-9 * (1.0 + std::abs(expect));
+  }
+
+ private:
+  static isa::Program emit(unsigned n) {
+    ProgramBuilder b("ocean");
+    const auto N = static_cast<std::int64_t>(n);
+    const std::int64_t rb = 8 * N;
+
+    Reg bar = b.ireg(), sense = b.ireg();
+    ArgsBlock::emit_load(b, bar, kBar);
+    b.li(sense, 0);
+
+    Reg grid = b.ireg(), rhs = b.ireg();
+    ArgsBlock::emit_load(b, grid, kGrid);
+    ArgsBlock::emit_load(b, rhs, kRhs);
+
+    Freg omega = b.freg(), quarter = b.freg();
+    b.fld(omega, ProgramBuilder::args(), 8 * kConstOmega);
+    b.fld(quarter, ProgramBuilder::args(), 8 * kConstQuarter);
+
+    Reg interior = b.ireg(), lo = b.ireg(), hi = b.ireg();
+    b.li(interior, N - 2);
+    emit_partition(b, interior, lo, hi);
+    b.addi(lo, lo, 1);
+    b.addi(hi, hi, 1);
+    b.release(interior);
+
+    Reg it = b.ireg(), iters = b.ireg(), i = b.ireg(), j = b.ireg(),
+        off = b.ireg(), pg = b.ireg(), pr = b.ireg(), parity = b.ireg(),
+        start = b.ireg(), two = b.ireg();
+    b.li(iters, kIters);
+    b.li(two, 2);
+
+    // One colored half-sweep: Gauss-Seidel over rows with i%2 == parity.
+    // Within a row the west neighbour is the freshly updated value (true
+    // SOR), so each row is a loop-carried recurrence — the reason ocean's
+    // per-thread ILP sits near the bottom of Figure 6 — while rows of one
+    // color are independent (they read only other-color rows).
+    auto half_sweep = [&] {
+      b.for_range(i, lo, hi, 1, [&] {
+        // Skip rows of the other color.
+        b.add(start, i, parity);
+        b.rem(start, start, two);
+        b.if_then(Op::kBeq, start, ProgramBuilder::zero(), [&] {
+          b.li(off, N);
+          b.mul(off, i, off);
+          b.addi(off, off, 1);
+          b.slli(off, off, 3);
+          b.add(pg, grid, off);
+          b.add(pr, rhs, off);
+          Reg jmax = b.ireg();
+          b.li(jmax, N - 1);
+          Freg w = b.freg();
+          b.fld(w, pg, -8);  // seed the running west value
+          b.for_range(j, 1, jmax, 1, [&] {
+            Freg e = b.freg(), nn = b.freg(), s = b.freg();
+            Freg c = b.freg(), f = b.freg(), t = b.freg();
+            b.fld(e, pg, 8);
+            b.fld(nn, pg, -rb);
+            b.fld(s, pg, rb);
+            b.fld(c, pg, 0);
+            b.fld(f, pr, 0);
+            b.fadd(t, e, w);
+            b.fadd(e, nn, s);
+            b.fadd(t, t, e);
+            b.fadd(t, t, f);
+            b.fmul(t, t, quarter);
+            b.fsub(t, t, c);
+            b.fmul(t, t, omega);
+            b.fadd(c, c, t);
+            b.fst(pg, 0, c);
+            b.fmov(w, c);  // updated value becomes the next west input
+            b.addi(pg, pg, 8);
+            b.addi(pr, pr, 8);
+            for (Freg x : {e, nn, s, c, f, t}) b.release(x);
+          });
+          b.release(w);
+          b.release(jmax);
+        });
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+    };
+
+    b.for_range(it, 0, iters, 1, [&] {
+      b.li(parity, 0);
+      half_sweep();  // red
+      b.li(parity, 1);
+      half_sweep();  // black
+      // Serial convergence check (thread 0): sample the grid diagonal.
+      Label skip = b.new_label();
+      b.bne(ProgramBuilder::tid(), ProgramBuilder::zero(), skip);
+      {
+        Freg acc = b.freg(), t = b.freg();
+        b.fsub(acc, acc, acc);
+        Reg k = b.ireg(), kmax = b.ireg();
+        b.li(kmax, N);
+        b.mov(pg, grid);
+        b.for_range(k, 0, kmax, 1, [&] {
+          b.fld(t, pg, 0);
+          b.fadd(acc, acc, t);
+          b.addi(pg, pg, rb + 8);  // walk the diagonal
+        });
+        ArgsBlock::emit_load(b, k, kResid);
+        b.fst(k, 0, acc);
+        b.release(k);
+        b.release(kmax);
+        b.release(acc);
+        b.release(t);
+      }
+      b.bind(skip);
+      b.barrier(bar, ProgramBuilder::nthreads());
+    });
+
+    // Seed the checksum with the converged residual (thread 0), then the
+    // parallel checksum epilogue over the grid.
+    Label seed = b.new_label();
+    b.bne(ProgramBuilder::tid(), ProgramBuilder::zero(), seed);
+    {
+      Freg t = b.freg();
+      Reg k = b.ireg();
+      ArgsBlock::emit_load(b, k, kResid);
+      b.fld(t, k, 0);
+      b.fst(ProgramBuilder::args(), 8 * kChecksum, t);
+      b.release(t);
+      b.release(k);
+    }
+    b.bind(seed);
+    Reg partials = b.ireg();
+    ArgsBlock::emit_load(b, partials, kPartials);
+    emit_checksum_epilogue(b, {grid}, N * N / 4, 4, partials, bar, kChecksum);
+    b.halt();
+    return b.take();
+  }
+
+  static double host_checksum(unsigned n, unsigned nthreads) {
+    const std::size_t cells = static_cast<std::size_t>(n) * n;
+    std::vector<double> g(cells), f(cells);
+    for (std::size_t k = 0; k < cells; ++k) {
+      g[k] = fill_value(k, -1.0, 1.0);
+      f[k] = fill_value(k, -0.2, 0.2);
+    }
+    double resid = 0.0;
+    for (unsigned it = 0; it < kIters; ++it) {
+      for (unsigned parity = 0; parity < 2; ++parity) {
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+          if ((i + parity) % 2 != 0) continue;
+          double w = g[i * n];
+          for (std::size_t j = 1; j + 1 < n; ++j) {
+            const std::size_t k = i * n + j;
+            const double t =
+                kQuarter * (((g[k + 1] + w) + (g[k - n] + g[k + n])) + f[k]) -
+                g[k];
+            g[k] += kOmega * t;
+            w = g[k];
+          }
+        }
+      }
+      resid = 0.0;
+      for (std::size_t k = 0; k < n; ++k) resid += g[k * n + k];
+    }
+    return host_checksum_epilogue({&g}, cells / 4, 4, nthreads, resid);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ocean() { return std::make_unique<Ocean>(); }
+
+}  // namespace csmt::workloads

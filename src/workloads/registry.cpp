@@ -1,0 +1,18 @@
+#include "workloads/workload.hpp"
+#include "workloads/kernels.hpp"
+#include "common/assert.hpp"
+namespace csmt::workloads {
+std::vector<std::string> workload_names() {
+  return {"swim", "tomcatv", "mgrid", "vpenta", "fmm", "ocean"};
+}
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  if (name == "swim") return make_swim();
+  if (name == "tomcatv") return make_tomcatv();
+  if (name == "mgrid") return make_mgrid();
+  if (name == "vpenta") return make_vpenta();
+  if (name == "fmm") return make_fmm();
+  if (name == "ocean") return make_ocean();
+  CSMT_ASSERT_MSG(false, "unknown workload name");
+  return nullptr;
+}
+}

@@ -1,0 +1,356 @@
+// swim — SPEC95 shallow-water finite-difference kernel (Polaris-style
+// parallelization). Structure per time step:
+//   phase 1 (parallel over interior rows): compute UNEW/VNEW/PNEW from the
+//           U/V/P stencils;
+//   phase 2 (parallel): relaxed copy-back NEW -> old;
+//   phase 3 (serial, thread 0): boundary handling + diagnostic reduction
+//           (the serial glue Polaris leaves between parallel loops).
+// Barriers separate the phases. The mix of thread-level parallelism and
+// per-thread ILP places swim near the middle of the paper's Figure 6 chart.
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/util.hpp"
+
+namespace csmt::workloads {
+namespace {
+
+using isa::Op;
+using isa::ProgramBuilder;
+using isa::Reg;
+using isa::Freg;
+using isa::Label;
+
+constexpr double kC1 = 0.031;
+constexpr double kC2 = 0.017;
+constexpr double kAlpha = 0.92;
+constexpr double kBeta = 0.08;
+constexpr unsigned kSteps = 3;
+
+// Argument-block slots.
+enum Slot : unsigned {
+  kBar, kU, kV, kP, kUn, kVn, kPn, kN, kChecksum, kPartials,
+  kConstC1, kConstC2, kConstAlpha, kConstBeta,
+  kSlotCount,
+};
+
+unsigned grid_n(unsigned scale) { return 16 * scale; }
+
+class Swim final : public Workload {
+ public:
+  const char* name() const override { return "swim"; }
+
+  WorkloadBuild build(mem::PagedMemory& memory, unsigned nthreads,
+                      unsigned scale) const override {
+    CSMT_ASSERT(scale >= 1 && nthreads >= 1);
+    const unsigned n = grid_n(scale);
+    const std::size_t cells = static_cast<std::size_t>(n) * n;
+
+    mem::SimAlloc alloc;
+    ArgsBlock args(memory, alloc, kSlotCount);
+    const Addr bar = alloc.alloc_sync_line();
+    const Addr u = alloc.alloc_words(cells, 64);
+    const Addr v = alloc.alloc_words(cells, 64);
+    const Addr p = alloc.alloc_words(cells, 64);
+    const Addr un = alloc.alloc_words(cells, 64);
+    const Addr vn = alloc.alloc_words(cells, 64);
+    const Addr pn = alloc.alloc_words(cells, 64);
+    const Addr partials = alloc.alloc_words(nthreads, 64);
+
+    fill_doubles(memory, u, cells, -0.5, 0.5);
+    fill_doubles(memory, v, cells, -0.25, 0.25);
+    fill_doubles(memory, p, cells, 1.0, 2.0);
+
+    args.set_addr(kBar, bar);
+    args.set_addr(kU, u);
+    args.set_addr(kV, v);
+    args.set_addr(kP, p);
+    args.set_addr(kUn, un);
+    args.set_addr(kVn, vn);
+    args.set_addr(kPn, pn);
+    args.set(kN, n);
+    args.set_addr(kPartials, partials);
+    memory.write_double(args.base() + 8ull * kConstC1, kC1);
+    memory.write_double(args.base() + 8ull * kConstC2, kC2);
+    memory.write_double(args.base() + 8ull * kConstAlpha, kAlpha);
+    memory.write_double(args.base() + 8ull * kConstBeta, kBeta);
+
+    return {emit(n, nthreads), args.base()};
+  }
+
+  bool validate(const mem::PagedMemory& memory, const WorkloadBuild& b,
+                unsigned nthreads, unsigned scale) const override {
+    const unsigned n = grid_n(scale);
+    const double expect = host_checksum(n, nthreads);
+    const double got = memory.read_double(b.args_base + 8ull * kChecksum);
+    return std::abs(got - expect) <=
+           1e-9 * (1.0 + std::abs(expect));
+  }
+
+ private:
+  // --- the SPMD program -----------------------------------------------
+  static isa::Program emit(unsigned n, unsigned /*nthreads*/) {
+    ProgramBuilder b("swim");
+    const auto N = static_cast<std::int64_t>(n);
+    const std::int64_t row_bytes = 8 * N;
+
+    Reg bar = b.ireg();
+    Reg sense = b.ireg();
+    ArgsBlock::emit_load(b, bar, kBar);
+    b.li(sense, 0);
+
+    Reg u = b.ireg(), v = b.ireg(), p = b.ireg();
+    Reg un = b.ireg(), vn = b.ireg(), pn = b.ireg();
+    ArgsBlock::emit_load(b, u, kU);
+    ArgsBlock::emit_load(b, v, kV);
+    ArgsBlock::emit_load(b, p, kP);
+    ArgsBlock::emit_load(b, un, kUn);
+    ArgsBlock::emit_load(b, vn, kVn);
+    ArgsBlock::emit_load(b, pn, kPn);
+
+    Freg c1 = b.freg(), c2 = b.freg(), al = b.freg(), be = b.freg();
+    b.fld(c1, ProgramBuilder::args(), 8 * kConstC1);
+    b.fld(c2, ProgramBuilder::args(), 8 * kConstC2);
+    b.fld(al, ProgramBuilder::args(), 8 * kConstAlpha);
+    b.fld(be, ProgramBuilder::args(), 8 * kConstBeta);
+
+    // Interior-row partition: rows [lo+1, hi+1) over n-2 interior rows.
+    Reg interior = b.ireg(), lo = b.ireg(), hi = b.ireg();
+    b.li(interior, N - 2);
+    emit_partition(b, interior, lo, hi);
+    b.addi(lo, lo, 1);
+    b.addi(hi, hi, 1);
+    b.release(interior);
+
+    Reg step = b.ireg(), steps = b.ireg();
+    b.li(steps, kSteps);
+    Reg i = b.ireg(), j = b.ireg(), jmax = b.ireg();
+    b.li(jmax, N - 1);
+    Reg off = b.ireg();
+    Reg pu = b.ireg(), pv = b.ireg(), pp = b.ireg();
+    Reg pun = b.ireg(), pvn = b.ireg(), ppn = b.ireg();
+
+    // Sets the six running row pointers to column 1 of row `i`.
+    auto row_pointers = [&] {
+      b.li(off, N);
+      b.mul(off, i, off);
+      b.addi(off, off, 1);
+      b.slli(off, off, 3);
+      b.add(pu, u, off);
+      b.add(pv, v, off);
+      b.add(pp, p, off);
+      b.add(pun, un, off);
+      b.add(pvn, vn, off);
+      b.add(ppn, pn, off);
+    };
+    auto advance_pointers = [&] {
+      b.addi(pu, pu, 8);
+      b.addi(pv, pv, 8);
+      b.addi(pp, pp, 8);
+      b.addi(pun, pun, 8);
+      b.addi(pvn, pvn, 8);
+      b.addi(ppn, ppn, 8);
+    };
+
+    b.for_range(step, 0, steps, 1, [&] {
+      // ---- phase 1: stencil into the NEW arrays ----
+      b.for_range(i, lo, hi, 1, [&] {
+        row_pointers();
+          b.for_range(j, 1, jmax, 1, [&] {
+            Freg pr = b.freg(), pl = b.freg(), dP = b.freg();
+            b.fld(pr, pp, 8);
+            b.fld(pl, pp, -8);
+            b.fsub(dP, pr, pl);
+            Freg vu = b.freg(), vd = b.freg(), sV = b.freg();
+            b.fld(vu, pv, -row_bytes);
+            b.fld(vd, pv, row_bytes);
+            b.fadd(sV, vu, vd);
+            Freg fu = b.freg(), t1 = b.freg(), t2 = b.freg();
+            b.fld(fu, pu, 0);
+            b.fmul(t1, dP, c1);
+            b.fmul(t2, sV, c2);
+            b.fadd(t1, t1, fu);
+            b.fadd(t1, t1, t2);
+            b.fst(pun, 0, t1);
+
+            Freg pa = b.freg(), pb = b.freg(), dPv = b.freg();
+            b.fld(pa, pp, -row_bytes);
+            b.fld(pb, pp, row_bytes);
+            b.fsub(dPv, pa, pb);
+            Freg fv = b.freg(), t3 = b.freg();
+            b.fld(fv, pv, 0);
+            b.fmul(t3, dPv, c1);
+            b.fadd(t3, t3, fv);
+            b.fst(pvn, 0, t3);
+
+            Freg ua = b.freg(), ub = b.freg(), dU = b.freg();
+            b.fld(ua, pu, -8);
+            b.fld(ub, pu, 8);
+            b.fsub(dU, ub, ua);
+            Freg fp = b.freg(), t4 = b.freg();
+            b.fld(fp, pp, 0);
+            b.fmul(t4, dU, c2);
+            b.fadd(t4, t4, fp);
+            b.fst(ppn, 0, t4);
+
+            advance_pointers();
+            for (Freg f : {pr, pl, dP, vu, vd, sV, fu, t1, t2, pa, pb, dPv,
+                           fv, t3, ua, ub, dU, fp, t4})
+              b.release(f);
+          });
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+
+      // ---- phase 2: relaxed copy-back NEW -> old ----
+      b.for_range(i, lo, hi, 1, [&] {
+        row_pointers();
+          b.for_range(j, 1, jmax, 1, [&] {
+            Freg a = b.freg(), o = b.freg(), r = b.freg(), s = b.freg();
+            b.fld(a, pun, 0);
+            b.fld(o, pu, 0);
+            b.fmul(r, a, al);
+            b.fmul(s, o, be);
+            b.fadd(r, r, s);
+            b.fst(pu, 0, r);
+            b.fld(a, pvn, 0);
+            b.fld(o, pv, 0);
+            b.fmul(r, a, al);
+            b.fmul(s, o, be);
+            b.fadd(r, r, s);
+            b.fst(pv, 0, r);
+            b.fld(a, ppn, 0);
+            b.fld(o, pp, 0);
+            b.fmul(r, a, al);
+            b.fmul(s, o, be);
+            b.fadd(r, r, s);
+            b.fst(pp, 0, r);
+            advance_pointers();
+            for (Freg f : {a, o, r, s}) b.release(f);
+          });
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+
+      // ---- phase 3 (serial, thread 0): boundary wrap + diagnostics ----
+      Label skip = b.new_label();
+      b.bne(ProgramBuilder::tid(), ProgramBuilder::zero(), skip);
+      {
+        // Copy row 1 -> row 0 and row n-2 -> row n-1 for U, V, P.
+        Reg src = b.ireg(), dst = b.ireg();
+        for (const Reg base : {u, v, p}) {
+          b.addi(src, base, row_bytes);          // row 1
+          b.mov(dst, base);                      // row 0
+          Freg t = b.freg();
+          b.for_range(j, 0, jmax, 1, [&] {       // columns 0..n-2
+            b.fld(t, src, 0);
+            b.fst(dst, 0, t);
+            b.addi(src, src, 8);
+            b.addi(dst, dst, 8);
+          });
+          b.li(off, (N - 2) * N);
+          b.slli(off, off, 3);
+          b.add(src, base, off);                 // row n-2
+          b.li(off, (N - 1) * N);
+          b.slli(off, off, 3);
+          b.add(dst, base, off);                 // row n-1
+          b.for_range(j, 0, jmax, 1, [&] {
+            b.fld(t, src, 0);
+            b.fst(dst, 0, t);
+            b.addi(src, src, 8);
+            b.addi(dst, dst, 8);
+          });
+          b.release(t);
+        }
+        // Diagnostic reduction over the top half of P (serial glue; two
+        // independent accumulators give the serial section some ILP).
+        Freg acc0 = b.freg(), acc1 = b.freg(), t0 = b.freg(), t1 = b.freg();
+        b.fsub(acc0, acc0, acc0);  // acc0 = 0 (any value minus itself)
+        b.fsub(acc1, acc1, acc1);
+        b.mov(src, p);
+        Reg half = b.ireg();
+        b.li(half, (N / 2) * N / 2);
+        b.for_range(j, 0, half, 1, [&] {
+          b.fld(t0, src, 0);
+          b.fld(t1, src, 8);
+          b.fadd(acc0, acc0, t0);
+          b.fadd(acc1, acc1, t1);
+          b.addi(src, src, 16);
+        });
+        b.fadd(acc0, acc0, acc1);
+        b.fst(ProgramBuilder::args(), 8 * kChecksum, acc0);
+        b.release(half);
+        b.release(src);
+        b.release(dst);
+        for (Freg f : {acc0, acc1, t0, t1}) b.release(f);
+      }
+      b.bind(skip);
+      b.barrier(bar, ProgramBuilder::nthreads());
+    });
+
+    // Parallel checksum epilogue over U and V (seeded with the diagnostic).
+    // The running row pointers are dead past this point; free them so the
+    // epilogue can allocate its own temporaries.
+    for (Reg r : {pu, pv, pp, pun, pvn, ppn, step, steps}) b.release(r);
+    Reg partials = b.ireg();
+    ArgsBlock::emit_load(b, partials, kPartials);
+    emit_checksum_epilogue(b, {u, v}, N * N / 4, 4, partials, bar, kChecksum);
+    b.halt();
+    return b.take();
+  }
+
+  // --- host reference ---------------------------------------------------
+  static double host_checksum(unsigned n, unsigned nthreads) {
+    const std::size_t cells = static_cast<std::size_t>(n) * n;
+    std::vector<double> u(cells), v(cells), p(cells);
+    std::vector<double> un(cells, 0.0), vn(cells, 0.0), pn(cells, 0.0);
+    for (std::size_t k = 0; k < cells; ++k) {
+      u[k] = fill_value(k, -0.5, 0.5);
+      v[k] = fill_value(k, -0.25, 0.25);
+      p[k] = fill_value(k, 1.0, 2.0);
+    }
+    auto at = [n](std::size_t i, std::size_t j) { return i * n + j; };
+    double diag = 0.0;
+    for (unsigned step = 0; step < kSteps; ++step) {
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+          un[at(i, j)] = u[at(i, j)] + kC1 * (p[at(i, j + 1)] - p[at(i, j - 1)]) +
+                         kC2 * (v[at(i - 1, j)] + v[at(i + 1, j)]);
+          vn[at(i, j)] =
+              v[at(i, j)] + kC1 * (p[at(i - 1, j)] - p[at(i + 1, j)]);
+          pn[at(i, j)] =
+              p[at(i, j)] + kC2 * (u[at(i, j + 1)] - u[at(i, j - 1)]);
+        }
+      }
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+          u[at(i, j)] = kAlpha * un[at(i, j)] + kBeta * u[at(i, j)];
+          v[at(i, j)] = kAlpha * vn[at(i, j)] + kBeta * v[at(i, j)];
+          p[at(i, j)] = kAlpha * pn[at(i, j)] + kBeta * p[at(i, j)];
+        }
+      }
+      for (auto* a : {&u, &v, &p}) {
+        for (std::size_t j = 0; j + 1 < n; ++j) {
+          (*a)[at(0, j)] = (*a)[at(1, j)];
+          (*a)[at(n - 1, j)] = (*a)[at(n - 2, j)];
+        }
+      }
+      double acc0 = 0.0, acc1 = 0.0;
+      const std::size_t half = (n / 2) * n / 2;
+      for (std::size_t k = 0; k < half; ++k) {
+        acc0 += p[2 * k];
+        acc1 += p[2 * k + 1];
+      }
+      diag = acc0 + acc1;
+    }
+    return host_checksum_epilogue({&u, &v},
+                                  static_cast<std::size_t>(n) * n / 4, 4,
+                                  nthreads, diag);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_swim() { return std::make_unique<Swim>(); }
+
+}  // namespace csmt::workloads

@@ -1,0 +1,358 @@
+// tomcatv — SPEC95 vectorized mesh generator. Its defining property for
+// this study (Figure 6: the leftmost application) is the large serial
+// fraction Polaris leaves behind: per time step a modestly parallel
+// residual computation is followed by serial tridiagonal forward/backward
+// sweeps over the whole mesh (loop-carried recurrences along rows), run by
+// thread 0 while the rest spin. Per-thread ILP in the serial sweeps comes
+// from the independent RX/RY recurrence chains.
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/util.hpp"
+
+namespace csmt::workloads {
+namespace {
+
+using isa::Freg;
+using isa::Label;
+using isa::Op;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+constexpr double kRelax = 0.37;
+constexpr double kDiag = 2.31;
+constexpr double kOffd = 0.45;
+constexpr double kEps = 0.015625;    // pivot-refresh coefficient (1/64)
+constexpr double kDamp = 0.96875;    // back-substitution damping (31/32)
+constexpr unsigned kSteps = 3;
+
+enum Slot : unsigned {
+  kBar, kX, kY, kRx, kRy, kD, kChecksum, kPartials,
+  kConstRelax, kConstDiag, kConstOffd, kConstEps, kConstDamp,
+  kSlotCount,
+};
+
+unsigned grid_n(unsigned scale) { return 16 * scale; }
+
+class Tomcatv final : public Workload {
+ public:
+  const char* name() const override { return "tomcatv"; }
+
+  WorkloadBuild build(mem::PagedMemory& memory, unsigned nthreads,
+                      unsigned scale) const override {
+    CSMT_ASSERT(scale >= 1 && nthreads >= 1);
+    const unsigned n = grid_n(scale);
+    const std::size_t cells = static_cast<std::size_t>(n) * n;
+
+    mem::SimAlloc alloc;
+    ArgsBlock args(memory, alloc, kSlotCount);
+    const Addr bar = alloc.alloc_sync_line();
+    const Addr x = alloc.alloc_words(cells, 64);
+    const Addr y = alloc.alloc_words(cells, 64);
+    const Addr rx = alloc.alloc_words(cells, 64);
+    const Addr ry = alloc.alloc_words(cells, 64);
+    const Addr d = alloc.alloc_words(cells, 64);
+    const Addr partials = alloc.alloc_words(nthreads, 64);
+
+    fill_doubles(memory, x, cells, -1.0, 1.0);
+    fill_doubles(memory, y, cells, 0.0, 1.0);
+
+    args.set_addr(kBar, bar);
+    args.set_addr(kX, x);
+    args.set_addr(kY, y);
+    args.set_addr(kRx, rx);
+    args.set_addr(kRy, ry);
+    args.set_addr(kD, d);
+    args.set_addr(kPartials, partials);
+    memory.write_double(args.base() + 8ull * kConstRelax, kRelax);
+    memory.write_double(args.base() + 8ull * kConstDiag, kDiag);
+    memory.write_double(args.base() + 8ull * kConstOffd, kOffd);
+    memory.write_double(args.base() + 8ull * kConstEps, kEps);
+    memory.write_double(args.base() + 8ull * kConstDamp, kDamp);
+
+    return {emit(n), args.base()};
+  }
+
+  bool validate(const mem::PagedMemory& memory, const WorkloadBuild& b,
+                unsigned nthreads, unsigned scale) const override {
+    const double expect = host_checksum(grid_n(scale), nthreads);
+    const double got = memory.read_double(b.args_base + 8ull * kChecksum);
+    return std::abs(got - expect) <= 1e-9 * (1.0 + std::abs(expect));
+  }
+
+ private:
+  static isa::Program emit(unsigned n) {
+    ProgramBuilder b("tomcatv");
+    const auto N = static_cast<std::int64_t>(n);
+    const std::int64_t row_bytes = 8 * N;
+
+    Reg bar = b.ireg(), sense = b.ireg();
+    ArgsBlock::emit_load(b, bar, kBar);
+    b.li(sense, 0);
+
+    Reg x = b.ireg(), y = b.ireg(), rx = b.ireg(), ry = b.ireg(),
+        dd = b.ireg();
+    ArgsBlock::emit_load(b, x, kX);
+    ArgsBlock::emit_load(b, y, kY);
+    ArgsBlock::emit_load(b, rx, kRx);
+    ArgsBlock::emit_load(b, ry, kRy);
+    ArgsBlock::emit_load(b, dd, kD);
+
+    Freg relax = b.freg(), diag = b.freg(), offd = b.freg();
+    Freg eps = b.freg(), damp = b.freg();
+    b.fld(relax, ProgramBuilder::args(), 8 * kConstRelax);
+    b.fld(diag, ProgramBuilder::args(), 8 * kConstDiag);
+    b.fld(offd, ProgramBuilder::args(), 8 * kConstOffd);
+    b.fld(eps, ProgramBuilder::args(), 8 * kConstEps);
+    b.fld(damp, ProgramBuilder::args(), 8 * kConstDamp);
+
+    Reg interior = b.ireg(), lo = b.ireg(), hi = b.ireg();
+    b.li(interior, N - 2);
+    emit_partition(b, interior, lo, hi);
+    b.addi(lo, lo, 1);
+    b.addi(hi, hi, 1);
+    b.release(interior);
+
+    Reg step = b.ireg(), steps = b.ireg(), i = b.ireg(), j = b.ireg(),
+        jmax = b.ireg(), off = b.ireg();
+    b.li(steps, kSteps);
+    b.li(jmax, N - 1);
+    Reg px = b.ireg(), py = b.ireg(), prx = b.ireg(), pry = b.ireg();
+
+    auto row_pointers = [&](Reg row) {
+      b.li(off, N);
+      b.mul(off, row, off);
+      b.addi(off, off, 1);
+      b.slli(off, off, 3);
+      b.add(px, x, off);
+      b.add(py, y, off);
+      b.add(prx, rx, off);
+      b.add(pry, ry, off);
+    };
+
+    b.for_range(step, 0, steps, 1, [&] {
+      // ---- phase A (parallel): residuals RX, RY from the X/Y stencils ----
+      b.for_range(i, lo, hi, 1, [&] {
+        row_pointers(i);
+        b.for_range(j, 1, jmax, 1, [&] {
+          Freg xe = b.freg(), xw = b.freg(), xn = b.freg(), xs = b.freg();
+          Freg xc = b.freg(), t = b.freg(), r = b.freg();
+          b.fld(xe, px, 8);
+          b.fld(xw, px, -8);
+          b.fld(xn, px, -row_bytes);
+          b.fld(xs, px, row_bytes);
+          b.fld(xc, px, 0);
+          b.fadd(t, xe, xw);
+          b.fadd(r, xn, xs);
+          b.fadd(t, t, r);
+          b.fmul(r, xc, diag);
+          b.fsub(t, t, r);
+          b.fst(prx, 0, t);
+          Freg ye = b.freg(), yw = b.freg(), yn = b.freg(), ys = b.freg();
+          Freg yc = b.freg(), u = b.freg(), v = b.freg();
+          b.fld(ye, py, 8);
+          b.fld(yw, py, -8);
+          b.fld(yn, py, -row_bytes);
+          b.fld(ys, py, row_bytes);
+          b.fld(yc, py, 0);
+          b.fadd(u, ye, yw);
+          b.fadd(v, yn, ys);
+          b.fadd(u, u, v);
+          b.fmul(v, yc, diag);
+          b.fsub(u, u, v);
+          b.fst(pry, 0, u);
+          b.addi(px, px, 8);
+          b.addi(py, py, 8);
+          b.addi(prx, prx, 8);
+          b.addi(pry, pry, 8);
+          for (Freg f : {xe, xw, xn, xs, xc, t, r, ye, yw, yn, ys, yc, u, v})
+            b.release(f);
+        });
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+
+      // ---- phase B (serial, thread 0): tridiagonal forward elimination ----
+      // d = 1/(diag - offd*d_prev); r = (r + offd*r_prev) * d, along rows.
+      Label skip_b = b.new_label();
+      b.bne(ProgramBuilder::tid(), ProgramBuilder::zero(), skip_b);
+      {
+        Reg pd = b.ireg();
+        Freg dm1 = b.freg(), rxm1 = b.freg(), rym1 = b.freg();
+        Freg t0 = b.freg(), t1 = b.freg(), t2 = b.freg(), one = b.freg();
+        b.fdiv_d(one, diag, diag);  // exact 1.0 without an fp immediate
+        b.for_range(i, 1, jmax, 1, [&] {
+          row_pointers(i);
+          b.li(off, N);
+          b.mul(off, i, off);
+          b.addi(off, off, 1);
+          b.slli(off, off, 3);
+          b.add(pd, dd, off);
+          b.fsub(dm1, dm1, dm1);
+          b.fsub(rxm1, rxm1, rxm1);
+          b.fsub(rym1, rym1, rym1);
+          b.for_range(j, 1, jmax, 1, [&] {
+            // Pivot with a Newton-style refresh: the refresh extends the
+            // loop-carried chain the way the original tomcatv's coefficient
+            // computation does, keeping the solve compute-bound.
+            b.fmul(t0, offd, dm1);
+            b.fsub(t0, diag, t0);
+            b.fdiv_d(dm1, one, t0);
+            b.fmul(t0, dm1, dm1);
+            b.fmul(t0, t0, eps);
+            b.fsub(dm1, dm1, t0);
+            b.fst(pd, 0, dm1);
+            b.fld(t1, prx, 0);
+            b.fmul(t2, offd, rxm1);
+            b.fadd(t1, t1, t2);
+            b.fmul(rxm1, t1, dm1);
+            b.fst(prx, 0, rxm1);
+            b.fld(t1, pry, 0);
+            b.fmul(t2, offd, rym1);
+            b.fadd(t1, t1, t2);
+            b.fmul(rym1, t1, dm1);
+            b.fst(pry, 0, rym1);
+            b.addi(pd, pd, 8);
+            b.addi(prx, prx, 8);
+            b.addi(pry, pry, 8);
+          });
+        });
+        b.release(pd);
+        for (Freg f : {dm1, rxm1, rym1, t0, t1, t2, one}) b.release(f);
+      }
+      b.bind(skip_b);
+      b.barrier(bar, ProgramBuilder::nthreads());
+
+      // ---- phase C (serial, thread 0): backward substitution ----
+      Label skip_c = b.new_label();
+      b.bne(ProgramBuilder::tid(), ProgramBuilder::zero(), skip_c);
+      {
+        Reg pd = b.ireg();
+        Freg t0 = b.freg(), t1 = b.freg(), rxp = b.freg(), ryp = b.freg();
+        b.for_range(i, 1, jmax, 1, [&] {
+          // Point at column n-2 and walk down to column 1.
+          b.li(off, N);
+          b.mul(off, i, off);
+          b.addi(off, off, N - 2);
+          b.slli(off, off, 3);
+          b.add(prx, rx, off);
+          b.add(pry, ry, off);
+          b.add(pd, dd, off);
+          b.fsub(rxp, rxp, rxp);
+          b.fsub(ryp, ryp, ryp);
+          b.for_range(j, 1, jmax, 1, [&] {
+            b.fld(t0, prx, 0);
+            b.fld(t1, pd, 0);
+            b.fmul(rxp, rxp, t1);
+            b.fadd(rxp, rxp, t0);
+            b.fmul(rxp, rxp, damp);
+            b.fst(prx, 0, rxp);
+            b.fld(t0, pry, 0);
+            b.fmul(ryp, ryp, t1);
+            b.fadd(ryp, ryp, t0);
+            b.fmul(ryp, ryp, damp);
+            b.fst(pry, 0, ryp);
+            b.addi(prx, prx, -8);
+            b.addi(pry, pry, -8);
+            b.addi(pd, pd, -8);
+          });
+        });
+        b.release(pd);
+        for (Freg f : {t0, t1, rxp, ryp}) b.release(f);
+      }
+      b.bind(skip_c);
+      b.barrier(bar, ProgramBuilder::nthreads());
+
+      // ---- phase D (parallel): relax X, Y by the corrections ----
+      b.for_range(i, lo, hi, 1, [&] {
+        row_pointers(i);
+        b.for_range(j, 1, jmax, 1, [&] {
+          Freg xc = b.freg(), rc = b.freg();
+          b.fld(xc, px, 0);
+          b.fld(rc, prx, 0);
+          b.fmul(rc, rc, relax);
+          b.fadd(xc, xc, rc);
+          b.fst(px, 0, xc);
+          b.fld(xc, py, 0);
+          b.fld(rc, pry, 0);
+          b.fmul(rc, rc, relax);
+          b.fadd(xc, xc, rc);
+          b.fst(py, 0, xc);
+          b.addi(px, px, 8);
+          b.addi(py, py, 8);
+          b.addi(prx, prx, 8);
+          b.addi(pry, pry, 8);
+          b.release(xc);
+          b.release(rc);
+        });
+      });
+      b.barrier(bar, ProgramBuilder::nthreads());
+    });
+
+    // Parallel checksum epilogue over X and Y.
+    Reg partials = b.ireg();
+    ArgsBlock::emit_load(b, partials, kPartials);
+    emit_checksum_epilogue(b, {x, y}, N * N / 4, 4, partials, bar, kChecksum);
+    b.halt();
+    return b.take();
+  }
+
+  static double host_checksum(unsigned n, unsigned nthreads) {
+    const std::size_t cells = static_cast<std::size_t>(n) * n;
+    std::vector<double> x(cells), y(cells), rx(cells, 0.0), ry(cells, 0.0),
+        d(cells, 0.0);
+    for (std::size_t k = 0; k < cells; ++k) {
+      x[k] = fill_value(k, -1.0, 1.0);
+      y[k] = fill_value(k, 0.0, 1.0);
+    }
+    auto at = [n](std::size_t i, std::size_t j) { return i * n + j; };
+    const double one = kDiag / kDiag;
+    for (unsigned step = 0; step < kSteps; ++step) {
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+          rx[at(i, j)] = x[at(i, j + 1)] + x[at(i, j - 1)] + x[at(i - 1, j)] +
+                         x[at(i + 1, j)] - kDiag * x[at(i, j)];
+          ry[at(i, j)] = y[at(i, j + 1)] + y[at(i, j - 1)] + y[at(i - 1, j)] +
+                         y[at(i + 1, j)] - kDiag * y[at(i, j)];
+        }
+      }
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        double dm1 = 0.0, rxm1 = 0.0, rym1 = 0.0;
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+          dm1 = one / (kDiag - kOffd * dm1);
+          dm1 = dm1 - (dm1 * dm1) * kEps;
+          d[at(i, j)] = dm1;
+          rxm1 = (rx[at(i, j)] + kOffd * rxm1) * dm1;
+          rx[at(i, j)] = rxm1;
+          rym1 = (ry[at(i, j)] + kOffd * rym1) * dm1;
+          ry[at(i, j)] = rym1;
+        }
+      }
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        double rxp = 0.0, ryp = 0.0;
+        for (std::size_t j = n - 2; j >= 1; --j) {
+          rxp = (rxp * d[at(i, j)] + rx[at(i, j)]) * kDamp;
+          rx[at(i, j)] = rxp;
+          ryp = (ryp * d[at(i, j)] + ry[at(i, j)]) * kDamp;
+          ry[at(i, j)] = ryp;
+        }
+      }
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+          x[at(i, j)] += kRelax * rx[at(i, j)];
+          y[at(i, j)] += kRelax * ry[at(i, j)];
+        }
+      }
+    }
+    return host_checksum_epilogue({&x, &y},
+                                  static_cast<std::size_t>(n) * n / 4, 4,
+                                  nthreads, 0.0);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_tomcatv() { return std::make_unique<Tomcatv>(); }
+
+}  // namespace csmt::workloads

@@ -1,0 +1,110 @@
+#include "workloads/util.hpp"
+
+#include <cmath>
+
+namespace csmt::workloads {
+
+using isa::Op;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+void emit_partition(ProgramBuilder& b, Reg n, Reg lo, Reg hi) {
+  Reg t = b.ireg();
+  b.addi(t, ProgramBuilder::nthreads(), -1);
+  b.add(t, t, n);
+  b.div(t, t, ProgramBuilder::nthreads());  // t = ceil(n / nthreads)
+  b.mul(lo, t, ProgramBuilder::tid());
+  b.add(hi, lo, t);
+  b.if_then(Op::kBlt, n, hi, [&] { b.mov(hi, n); });
+  b.release(t);
+}
+
+void emit_index2d(ProgramBuilder& b, Reg addr, Reg base, Reg i,
+                  std::int64_t stride, Reg j) {
+  Reg t = b.ireg();
+  b.li(t, stride);
+  b.mul(t, i, t);
+  b.add(t, t, j);
+  b.slli(t, t, 3);
+  b.add(addr, base, t);
+  b.release(t);
+}
+
+void emit_checksum_epilogue(ProgramBuilder& b,
+                            const std::vector<Reg>& arrays,
+                            std::int64_t count, std::int64_t stride_words,
+                            Reg partials, Reg bar, unsigned checksum_slot) {
+  using isa::Freg;
+  using isa::Label;
+  Reg n = b.ireg(), lo = b.ireg(), hi = b.ireg(), k = b.ireg(),
+      ptr = b.ireg(), off = b.ireg();
+  isa::Freg acc = b.freg(), t = b.freg();
+  b.li(n, count);
+  emit_partition(b, n, lo, hi);
+  b.fsub(acc, acc, acc);
+  for (const Reg base : arrays) {
+    // ptr = base + lo*stride*8
+    b.li(off, stride_words * 8);
+    b.mul(off, lo, off);
+    b.add(ptr, base, off);
+    b.for_range(k, lo, hi, 1, [&] {
+      b.fld(t, ptr, 0);
+      b.fadd(acc, acc, t);
+      b.addi(ptr, ptr, stride_words * 8);
+    });
+  }
+  b.slli(off, ProgramBuilder::tid(), 3);
+  b.add(ptr, partials, off);
+  b.fst(ptr, 0, acc);
+  b.barrier(bar, ProgramBuilder::nthreads());
+  Label fin = b.new_label();
+  b.bne(ProgramBuilder::tid(), ProgramBuilder::zero(), fin);
+  {
+    b.fld(acc, ProgramBuilder::args(), 8ll * checksum_slot);
+    b.mov(ptr, partials);
+    b.for_range(k, 0, ProgramBuilder::nthreads(), 1, [&] {
+      b.fld(t, ptr, 0);
+      b.fadd(acc, acc, t);
+      b.addi(ptr, ptr, 8);
+    });
+    b.fst(ProgramBuilder::args(), 8ll * checksum_slot, acc);
+  }
+  b.bind(fin);
+  for (Reg r : {n, lo, hi, k, ptr, off}) b.release(r);
+  b.release(acc);
+  b.release(t);
+}
+
+double host_checksum_epilogue(
+    const std::vector<const std::vector<double>*>& arrays, std::size_t count,
+    std::size_t stride_words, unsigned nthreads, double seed) {
+  std::vector<double> partial(nthreads, 0.0);
+  const std::size_t chunk = (count + nthreads - 1) / nthreads;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    const std::size_t lo = static_cast<std::size_t>(t) * chunk;
+    const std::size_t hi = lo + chunk < count ? lo + chunk : count;
+    double acc = 0.0;
+    for (const auto* a : arrays) {
+      for (std::size_t k = lo; k < hi; ++k) acc += (*a)[k * stride_words];
+    }
+    partial[t] = acc;
+  }
+  double acc = seed;
+  for (unsigned t = 0; t < nthreads; ++t) acc += partial[t];
+  return acc;
+}
+
+double fill_value(std::size_t i, double lo, double hi) {
+  const double phi = 0.6180339887498949;
+  const double frac = std::fmod(static_cast<double>(i + 1) * phi, 1.0);
+  return lo + (hi - lo) * frac;
+}
+
+void fill_doubles(mem::PagedMemory& memory, Addr base, std::size_t n,
+                  double lo, double hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    memory.write_double(base + 8ull * i, fill_value(i, lo, hi));
+  }
+}
+
+}  // namespace csmt::workloads

@@ -1,0 +1,77 @@
+// Shared emission helpers for the SPMD workload kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/builder.hpp"
+#include "mem/paged_memory.hpp"
+
+namespace csmt::workloads {
+
+/// Argument-block layout helper. Word slots are indexed from 0; slot i lives
+/// at args_base + 8*i. By convention slot 0 is the barrier (its own cache
+/// line is allocated separately; slot 0 stores its *address*).
+class ArgsBlock {
+ public:
+  ArgsBlock(mem::PagedMemory& memory, mem::SimAlloc& alloc, unsigned slots)
+      : memory_(memory), base_(alloc.alloc_words(slots, /*align=*/64)) {}
+
+  Addr base() const { return base_; }
+
+  void set(unsigned slot, std::uint64_t value) {
+    memory_.write(base_ + 8ull * slot, value);
+  }
+  void set_addr(unsigned slot, Addr a) { set(slot, a); }
+
+  std::uint64_t get(const mem::PagedMemory& m, unsigned slot) const {
+    return m.read(base_ + 8ull * slot);
+  }
+
+  /// Emits a load of slot `slot` into `dst` (program prologue).
+  static void emit_load(isa::ProgramBuilder& b, isa::Reg dst, unsigned slot) {
+    b.ld(dst, isa::ProgramBuilder::args(), 8ll * slot);
+  }
+
+ private:
+  mem::PagedMemory& memory_;
+  Addr base_;
+};
+
+/// Emits the block partition of [0, n) across nthreads:
+///   chunk = ceil(n / nthreads); lo = tid*chunk; hi = min(n, lo+chunk).
+/// `n`, `lo`, `hi` are caller-owned registers (n read-only).
+void emit_partition(isa::ProgramBuilder& b, isa::Reg n, isa::Reg lo,
+                    isa::Reg hi);
+
+/// Emits `addr = base + 8*(i*stride + j)` into `addr` (word arrays).
+void emit_index2d(isa::ProgramBuilder& b, isa::Reg addr, isa::Reg base,
+                  isa::Reg i, std::int64_t stride, isa::Reg j);
+
+/// Initializes an N-word array of doubles in memory with a deterministic
+/// smooth pattern f(i) = lo + (hi-lo) * frac(i * phi).
+void fill_doubles(mem::PagedMemory& memory, Addr base, std::size_t n,
+                  double lo, double hi);
+
+/// Host-side mirror of the same pattern (for reference implementations).
+double fill_value(std::size_t i, double lo, double hi);
+
+/// Emits the standard parallel checksum epilogue. Each thread sums elements
+/// k*stride_words (k in its ceil-chunk of [0, count)) of every array in
+/// `arrays`, stores its partial to partials[tid], and after a barrier
+/// thread 0 folds the partials in tid order into the checksum slot —
+/// seeding from whatever value the app already stored there. Keeping the
+/// epilogue parallel matters: a serial sweep here would idle every other
+/// thread and pollute the §4.1 slot statistics with artificial fetch waste.
+void emit_checksum_epilogue(isa::ProgramBuilder& b,
+                            const std::vector<isa::Reg>& arrays,
+                            std::int64_t count, std::int64_t stride_words,
+                            isa::Reg partials, isa::Reg bar,
+                            unsigned checksum_slot);
+
+/// Host mirror of emit_checksum_epilogue (exact fp operation order).
+double host_checksum_epilogue(
+    const std::vector<const std::vector<double>*>& arrays, std::size_t count,
+    std::size_t stride_words, unsigned nthreads, double seed);
+
+}  // namespace csmt::workloads

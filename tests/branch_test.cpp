@@ -1,0 +1,113 @@
+// Branch predictor tests: 2-bit saturating counter dynamics, BTB behavior,
+// aliasing, and statistics (paper §3.1: 2K-entry direct-mapped table).
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hpp"
+
+namespace csmt::branch {
+namespace {
+
+TEST(Predictor, InitialStateIsWeaklyTaken) {
+  BranchPredictor bp;
+  EXPECT_TRUE(bp.peek_direction(0));
+  EXPECT_TRUE(bp.peek_direction(12345));
+}
+
+TEST(Predictor, LearnsAlwaysTakenAfterBtbWarmup) {
+  BranchPredictor bp;
+  // First taken encounter: direction right but BTB cold -> miss.
+  EXPECT_FALSE(bp.predict_and_update(10, true, 99));
+  // From then on both direction and target are known.
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(bp.predict_and_update(10, true, 99));
+}
+
+TEST(Predictor, LearnsAlwaysNotTaken) {
+  BranchPredictor bp;
+  // Weakly-taken start: first two not-taken outcomes mispredict, then the
+  // counter saturates at not-taken.
+  int wrong = 0;
+  for (int i = 0; i < 20; ++i) wrong += !bp.predict_and_update(10, false, 0);
+  EXPECT_LE(wrong, 2);
+  EXPECT_FALSE(bp.peek_direction(10));
+}
+
+TEST(Predictor, TwoBitHysteresisSurvivesOneFlip) {
+  BranchPredictor bp;
+  for (int i = 0; i < 4; ++i) bp.predict_and_update(10, true, 99);
+  // One not-taken outcome must not flip the strongly-taken counter...
+  bp.predict_and_update(10, false, 0);
+  EXPECT_TRUE(bp.peek_direction(10));
+  // ...but two in a row do.
+  bp.predict_and_update(10, false, 0);
+  EXPECT_FALSE(bp.peek_direction(10));
+}
+
+TEST(Predictor, BtbTracksTargetChanges) {
+  BranchPredictor bp;
+  bp.predict_and_update(10, true, 100);
+  EXPECT_TRUE(bp.predict_and_update(10, true, 100));
+  // Target changes (e.g. an indirect-like pattern): BTB entry is stale.
+  EXPECT_FALSE(bp.predict_and_update(10, true, 200));
+  EXPECT_TRUE(bp.predict_and_update(10, true, 200));
+}
+
+TEST(Predictor, DirectMappedAliasing) {
+  BranchPredictor bp(16, 16);  // tiny tables to force aliasing
+  // pc 3 and pc 19 share counter 3.
+  for (int i = 0; i < 4; ++i) bp.predict_and_update(3, true, 50);
+  EXPECT_TRUE(bp.peek_direction(19));  // aliased counter says taken
+  bp.predict_and_update(19, false, 0);
+  bp.predict_and_update(19, false, 0);
+  bp.predict_and_update(19, false, 0);
+  EXPECT_FALSE(bp.peek_direction(3));  // and back-pollutes pc 3
+}
+
+TEST(Predictor, AlternatingPatternMispredictsHeavily) {
+  BranchPredictor bp;
+  unsigned wrong = 0;
+  bool taken = false;
+  for (int i = 0; i < 100; ++i) {
+    taken = !taken;
+    wrong += !bp.predict_and_update(10, taken, 99);
+  }
+  // A 2-bit counter cannot learn strict alternation.
+  EXPECT_GE(wrong, 40u);
+}
+
+TEST(Predictor, StatsAccumulate) {
+  BranchPredictor bp;
+  bp.predict_and_update(10, true, 99);   // BTB miss
+  bp.predict_and_update(10, true, 99);   // hit
+  bp.predict_and_update(10, false, 0);   // direction mispredict
+  const PredictorStats& s = bp.stats();
+  EXPECT_EQ(s.cond_lookups, 3u);
+  EXPECT_EQ(s.btb_misses, 1u);
+  EXPECT_EQ(s.cond_mispredicts, 1u);
+  EXPECT_GT(s.mispredict_rate(), 0.0);
+  bp.reset_stats();
+  EXPECT_EQ(bp.stats().cond_lookups, 0u);
+}
+
+TEST(Predictor, LoopBranchIsWellPredicted) {
+  BranchPredictor bp;
+  // A 100-iteration loop executed 10 times: taken x99, not-taken x1.
+  unsigned wrong = 0, total = 0;
+  for (int run = 0; run < 10; ++run) {
+    for (int i = 0; i < 99; ++i) {
+      wrong += !bp.predict_and_update(7, true, 3);
+      ++total;
+    }
+    wrong += !bp.predict_and_update(7, false, 0);
+    ++total;
+  }
+  // Warmup (1 BTB miss) + ~1 mispredict per loop exit + 1 re-entry.
+  EXPECT_LE(static_cast<double>(wrong) / total, 0.03);
+}
+
+TEST(PredictorDeath, NonPowerOfTwoAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH({ BranchPredictor bp(100, 64); }, "power of two");
+}
+
+}  // namespace
+}  // namespace csmt::branch

@@ -1,0 +1,196 @@
+// Tests for the cache structures: set-associative array (LRU, eviction,
+// coherence state), MSHR file, and TLB.
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hpp"
+#include "cache/mshr.hpp"
+#include "cache/tlb.hpp"
+
+namespace csmt::cache {
+namespace {
+
+CacheLevelParams tiny_l1() {
+  // 4 sets x 2 ways x 64 B lines = 512 B.
+  return {512, 64, 2, 8, 7, 1, 1};
+}
+
+TEST(CacheArray, GeometryFromTable3) {
+  CacheArray l1({64 * 1024, 64, 2, 8, 7, 1, 1});
+  EXPECT_EQ(l1.params().num_sets(), 512u);
+  CacheArray l2({1024 * 1024, 64, 4, 8, 7, 1, 10});
+  EXPECT_EQ(l2.params().num_sets(), 4096u);
+}
+
+TEST(CacheArray, MissThenHit) {
+  CacheArray c(tiny_l1());
+  EXPECT_EQ(c.lookup(0x1000), nullptr);
+  c.insert(0x1000, LineState::kExclusive, false);
+  CacheLine* line = c.lookup(0x1000);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->state, LineState::kExclusive);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheArray, SameLineDifferentWordsHit) {
+  CacheArray c(tiny_l1());
+  c.insert(0x1000, LineState::kShared, false);
+  EXPECT_NE(c.lookup(0x1008), nullptr);
+  EXPECT_NE(c.lookup(0x103F), nullptr);
+  EXPECT_EQ(c.lookup(0x1040), nullptr);  // next line
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed) {
+  CacheArray c(tiny_l1());  // 2 ways; set = (addr/64) % 4
+  // Three lines mapping to set 0: 0x000, 0x100, 0x200.
+  c.insert(0x000, LineState::kExclusive, false);
+  c.insert(0x100, LineState::kExclusive, false);
+  c.lookup(0x000);  // refresh 0x000; 0x100 is now LRU
+  const auto ev = c.insert(0x200, LineState::kExclusive, false);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line_addr, 0x100u);
+  EXPECT_NE(c.probe(0x000), nullptr);
+  EXPECT_EQ(c.probe(0x100), nullptr);
+  EXPECT_NE(c.probe(0x200), nullptr);
+}
+
+TEST(CacheArray, DirtyEvictionReported) {
+  CacheArray c(tiny_l1());
+  c.insert(0x000, LineState::kExclusive, true);
+  c.insert(0x100, LineState::kExclusive, false);
+  const auto ev = c.insert(0x200, LineState::kExclusive, false);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(ev.line_addr, 0x000u);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(CacheArray, ReinsertUpgradesInPlace) {
+  CacheArray c(tiny_l1());
+  c.insert(0x000, LineState::kShared, false);
+  const auto ev = c.insert(0x000, LineState::kExclusive, true);
+  EXPECT_FALSE(ev.valid);  // no eviction: same line upgraded
+  CacheLine* line = c.probe(0x000);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->state, LineState::kExclusive);
+  EXPECT_TRUE(line->dirty);
+}
+
+TEST(CacheArray, InvalidateReportsDirtiness) {
+  CacheArray c(tiny_l1());
+  c.insert(0x000, LineState::kExclusive, true);
+  bool dirty = false;
+  EXPECT_TRUE(c.invalidate(0x000, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_EQ(c.probe(0x000), nullptr);
+  EXPECT_FALSE(c.invalidate(0x000, &dirty));  // already gone
+  EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(CacheArray, DowngradeFlushesAndKeepsLine) {
+  CacheArray c(tiny_l1());
+  c.insert(0x000, LineState::kExclusive, true);
+  bool dirty = false;
+  EXPECT_TRUE(c.downgrade(0x000, &dirty));
+  EXPECT_TRUE(dirty);
+  CacheLine* line = c.probe(0x000);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->state, LineState::kShared);
+  EXPECT_FALSE(line->dirty);  // data flushed
+}
+
+TEST(CacheArray, BankMappingIsLineInterleaved) {
+  CacheArray c({64 * 1024, 64, 2, 8, 7, 1, 1});
+  EXPECT_EQ(c.bank_of(0), 0u);
+  EXPECT_EQ(c.bank_of(64), 1u);
+  EXPECT_EQ(c.bank_of(7 * 64), 0u);  // 7 banks wrap
+  EXPECT_EQ(c.bank_of(63), 0u);      // same line, same bank
+}
+
+TEST(CacheArray, LineAddrMasksOffset) {
+  CacheArray c(tiny_l1());
+  EXPECT_EQ(c.line_addr_of(0x1039), 0x1000u);
+  EXPECT_EQ(c.line_addr_of(0x1040), 0x1040u);
+}
+
+// ---------- MSHR ----------------------------------------------------------
+
+TEST(Mshr, AllocateAndExpire) {
+  MshrFile m(2);
+  EXPECT_FALSE(m.full());
+  m.allocate(0x1000, 50);
+  EXPECT_EQ(m.outstanding(0x1000), 50u);
+  EXPECT_EQ(m.outstanding(0x2000), kNeverCycle);
+  m.expire(49);
+  EXPECT_EQ(m.outstanding(0x1000), 50u);  // not yet
+  m.expire(50);
+  EXPECT_EQ(m.outstanding(0x1000), kNeverCycle);
+}
+
+TEST(Mshr, FullAtCapacity) {
+  MshrFile m(2);
+  m.allocate(0x1000, 100);
+  m.allocate(0x2000, 100);
+  EXPECT_TRUE(m.full());
+  EXPECT_EQ(m.in_flight(), 2u);
+  m.expire(100);
+  EXPECT_FALSE(m.full());
+  EXPECT_EQ(m.in_flight(), 0u);
+}
+
+TEST(Mshr, SlotReuseAfterExpiry) {
+  MshrFile m(1);
+  m.allocate(0x1000, 10);
+  m.expire(10);
+  m.allocate(0x2000, 20);
+  EXPECT_EQ(m.outstanding(0x2000), 20u);
+  EXPECT_EQ(m.stats().allocations, 2u);
+}
+
+TEST(Mshr, StatsCountMergesAndRejections) {
+  MshrFile m(1);
+  m.note_merge();
+  m.note_full_rejection();
+  EXPECT_EQ(m.stats().merges, 1u);
+  EXPECT_EQ(m.stats().full_rejections, 1u);
+}
+
+// ---------- TLB ------------------------------------------------------------
+
+TEST(Tlb, MissThenHitSamePage) {
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1008));  // same 4 KB page
+  EXPECT_TRUE(tlb.access(0x1FF8));
+  EXPECT_FALSE(tlb.access(0x2000));  // next page
+}
+
+TEST(Tlb, CapacityEviction) {
+  Tlb tlb(4);
+  for (Addr p = 0; p < 8; ++p) tlb.access(p * 4096);
+  // 8 pages through a 4-entry TLB: exactly 4 resident.
+  EXPECT_EQ(tlb.resident(), 4u);
+  EXPECT_EQ(tlb.stats().misses, 8u);
+}
+
+TEST(Tlb, FullyAssociativeHoldsExactlyCapacity) {
+  Tlb tlb(512);
+  for (Addr p = 0; p < 512; ++p) EXPECT_FALSE(tlb.access(p * 4096));
+  for (Addr p = 0; p < 512; ++p) EXPECT_TRUE(tlb.access(p * 4096));
+  EXPECT_DOUBLE_EQ(tlb.stats().miss_rate(), 0.5);
+}
+
+TEST(Tlb, RandomReplacementIsDeterministicPerSeed) {
+  auto runs_misses = [](std::uint64_t seed) {
+    Tlb tlb(8, seed);
+    std::uint64_t misses = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (Addr p = 0; p < 12; ++p) misses += !tlb.access(p * 4096);
+    }
+    return misses;
+  };
+  EXPECT_EQ(runs_misses(1), runs_misses(1));
+}
+
+}  // namespace
+}  // namespace csmt::cache

@@ -1,0 +1,156 @@
+// Unit tests for src/common: statistics primitives, formatting, tables,
+// the stacked-bar renderer, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace csmt {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, TracksMinMaxMean) {
+  RunningStat s;
+  for (const double v : {3.0, -1.0, 7.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    const double v = i * 1.5 - 3.0;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a, empty;
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStat c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(4);
+  h.add(0);
+  h.add(3, 2);
+  h.add(99);  // clamps into the last bucket
+  EXPECT_EQ(h.at(0), 1u);
+  EXPECT_EQ(h.at(3), 3u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.75);
+}
+
+TEST(Histogram, MeanWeighted) {
+  Histogram h(10);
+  h.add(2, 3);
+  h.add(8, 1);
+  EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 8.0) / 4.0);
+}
+
+TEST(Format, CountGroupsDigits) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(12345678901ull), "12,345,678,901");
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+  EXPECT_EQ(format_percent(0.5), "50.0%");
+  EXPECT_EQ(format_percent(0.123456, 2), "12.35%");
+}
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t;
+  t.header({"a", "bbbb"});
+  t.row({"cccc", "d"});
+  const std::string out = t.render();
+  // Each line has the same column start offsets.
+  const auto nl = out.find('\n');
+  const std::string line0 = out.substr(0, nl);
+  EXPECT_NE(line0.find("a"), std::string::npos);
+  EXPECT_NE(out.find("cccc"), std::string::npos);
+  // Separator rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(AsciiTable, HandlesRaggedRows) {
+  AsciiTable t;
+  t.header({"x", "y", "z"});
+  t.row({"1"});
+  EXPECT_NO_THROW({ const auto s = t.render(); (void)s; });
+}
+
+TEST(StackedBarChart, RendersSegmentsAndTotals) {
+  StackedBarChart c({"useful", "waste"}, 1.0);
+  c.add({"run", {3.0, 2.0}});
+  const std::string out = c.render();
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("useful"), std::string::npos);
+  EXPECT_NE(out.find("5.0"), std::string::npos);  // the bar total
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  // All buckets hit over 1000 draws.
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace csmt

@@ -1,0 +1,340 @@
+// Functional-interpreter tests: one test per instruction semantics class,
+// plus a parameterized sweep over the integer and fp ALU operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/thread_context.hpp"
+#include "isa/builder.hpp"
+
+namespace csmt::exec {
+namespace {
+
+using isa::Op;
+using isa::ProgramBuilder;
+
+/// Builds a one-instruction program (plus halt) and executes it on a
+/// context whose r10/r11 (and f10/f11) hold the given sources.
+struct Harness {
+  explicit Harness(isa::Inst inst) : program("h", {inst, halt_inst()}) {}
+
+  static isa::Inst halt_inst() {
+    isa::Inst h;
+    h.op = Op::kHalt;
+    return h;
+  }
+
+  DynInst run(std::uint64_t a, std::uint64_t b, double fa = 0.0,
+              double fb = 0.0) {
+    tc = std::make_unique<ThreadContext>(0, program, memory, 0, 1, 0);
+    tc->set_ireg(10, a);
+    tc->set_ireg(11, b);
+    tc->set_freg(10, fa);
+    tc->set_freg(11, fb);
+    DynInst d;
+    EXPECT_TRUE(tc->step(d));
+    return d;
+  }
+
+  mem::PagedMemory memory;
+  isa::Program program;
+  std::unique_ptr<ThreadContext> tc;
+};
+
+isa::Inst rr(Op op) {
+  isa::Inst i;
+  i.op = op;
+  i.rd = 12;
+  i.rs1 = 10;
+  i.rs2 = 11;
+  return i;
+}
+
+isa::Inst ri(Op op, std::int64_t imm) {
+  isa::Inst i;
+  i.op = op;
+  i.rd = 12;
+  i.rs1 = 10;
+  i.imm = imm;
+  return i;
+}
+
+// ---------- integer ALU, parameterized ----------------------------------
+
+struct IntCase {
+  Op op;
+  std::uint64_t a, b, expect;
+};
+
+class IntAluTest : public ::testing::TestWithParam<IntCase> {};
+
+TEST_P(IntAluTest, ComputesExpected) {
+  const IntCase& c = GetParam();
+  Harness h(rr(c.op));
+  h.run(c.a, c.b);
+  EXPECT_EQ(h.tc->ireg(12), c.expect)
+      << isa::op_name(c.op) << "(" << c.a << ", " << c.b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, IntAluTest,
+    ::testing::Values(
+        IntCase{Op::kAdd, 5, 7, 12}, IntCase{Op::kAdd, ~0ull, 1, 0},
+        IntCase{Op::kSub, 5, 7, static_cast<std::uint64_t>(-2)},
+        IntCase{Op::kAnd, 0xF0, 0x3C, 0x30},
+        IntCase{Op::kOr, 0xF0, 0x0F, 0xFF},
+        IntCase{Op::kXor, 0xFF, 0x0F, 0xF0},
+        IntCase{Op::kSll, 1, 12, 4096}, IntCase{Op::kSll, 1, 64 + 3, 8},
+        IntCase{Op::kSrl, 4096, 12, 1},
+        IntCase{Op::kSrl, ~0ull, 63, 1},
+        IntCase{Op::kSra, static_cast<std::uint64_t>(-8), 2,
+                static_cast<std::uint64_t>(-2)},
+        IntCase{Op::kSlt, static_cast<std::uint64_t>(-1), 0, 1},
+        IntCase{Op::kSlt, 1, 0, 0},
+        IntCase{Op::kSltu, static_cast<std::uint64_t>(-1), 0, 0},
+        IntCase{Op::kMul, 7, 6, 42},
+        IntCase{Op::kDiv, 42, 6, 7},
+        IntCase{Op::kDiv, static_cast<std::uint64_t>(-42), 6,
+                static_cast<std::uint64_t>(-7)},
+        IntCase{Op::kDiv, 42, 0, ~0ull},  // defined: no trap on div-by-0
+        IntCase{Op::kRem, 43, 6, 1}, IntCase{Op::kRem, 43, 0, 43}));
+
+struct ImmCase {
+  Op op;
+  std::uint64_t a;
+  std::int64_t imm;
+  std::uint64_t expect;
+};
+
+class IntImmTest : public ::testing::TestWithParam<ImmCase> {};
+
+TEST_P(IntImmTest, ComputesExpected) {
+  const ImmCase& c = GetParam();
+  Harness h(ri(c.op, c.imm));
+  h.run(c.a, 0);
+  EXPECT_EQ(h.tc->ireg(12), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, IntImmTest,
+    ::testing::Values(ImmCase{Op::kAddi, 10, -3, 7},
+                      ImmCase{Op::kAndi, 0xFF, 0x0F, 0x0F},
+                      ImmCase{Op::kOri, 0x10, 0x01, 0x11},
+                      ImmCase{Op::kXori, 1, 1, 0},
+                      ImmCase{Op::kSlli, 3, 4, 48},
+                      ImmCase{Op::kSrli, 48, 4, 3},
+                      ImmCase{Op::kSrai, static_cast<std::uint64_t>(-16), 2,
+                              static_cast<std::uint64_t>(-4)},
+                      ImmCase{Op::kSlti, 1, 2, 1},
+                      ImmCase{Op::kLi, 0, -99,
+                              static_cast<std::uint64_t>(-99)}));
+
+// ---------- fp ALU -------------------------------------------------------
+
+struct FpCase {
+  Op op;
+  double a, b, expect;
+};
+
+class FpAluTest : public ::testing::TestWithParam<FpCase> {};
+
+TEST_P(FpAluTest, ComputesExpected) {
+  const FpCase& c = GetParam();
+  Harness h(rr(c.op));
+  h.run(0, 0, c.a, c.b);
+  EXPECT_DOUBLE_EQ(h.tc->freg(12), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, FpAluTest,
+    ::testing::Values(FpCase{Op::kFadd, 1.5, 2.25, 3.75},
+                      FpCase{Op::kFsub, 1.0, 0.25, 0.75},
+                      FpCase{Op::kFmul, 3.0, -2.0, -6.0},
+                      FpCase{Op::kFdivD, 1.0, 4.0, 0.25},
+                      FpCase{Op::kFneg, 2.0, 0.0, -2.0},
+                      FpCase{Op::kFabs, -2.5, 0.0, 2.5},
+                      FpCase{Op::kFmov, 7.5, 0.0, 7.5}));
+
+TEST(FpSemantics, SinglePrecisionDivideRoundsToFloat) {
+  Harness h(rr(Op::kFdivS));
+  h.run(0, 0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(h.tc->freg(12),
+                   static_cast<double>(1.0f / 3.0f));
+}
+
+TEST(FpSemantics, Conversions) {
+  {
+    isa::Inst i;
+    i.op = Op::kFcvtIF;
+    i.rd = 12;
+    i.rs1 = 10;
+    Harness h(i);
+    h.run(static_cast<std::uint64_t>(-5), 0);
+    EXPECT_DOUBLE_EQ(h.tc->freg(12), -5.0);
+  }
+  {
+    isa::Inst i;
+    i.op = Op::kFcvtFI;
+    i.rd = 12;
+    i.rs1 = 10;
+    Harness h(i);
+    h.run(0, 0, -3.7, 0);
+    EXPECT_EQ(static_cast<std::int64_t>(h.tc->ireg(12)), -3);
+  }
+}
+
+TEST(FpSemantics, Comparisons) {
+  for (const auto& [op, a, b, expect] :
+       {std::tuple{Op::kFcmpLt, 1.0, 2.0, 1ull},
+        std::tuple{Op::kFcmpLt, 2.0, 1.0, 0ull},
+        std::tuple{Op::kFcmpLe, 2.0, 2.0, 1ull},
+        std::tuple{Op::kFcmpEq, 2.0, 2.0, 1ull},
+        std::tuple{Op::kFcmpEq, 2.0, 2.5, 0ull}}) {
+    isa::Inst i;
+    i.op = op;
+    i.rd = 12;
+    i.rs1 = 10;
+    i.rs2 = 11;
+    Harness h(i);
+    h.run(0, 0, a, b);
+    EXPECT_EQ(h.tc->ireg(12), expect);
+  }
+}
+
+// ---------- zero register, memory, branches, halt ------------------------
+
+TEST(Interpreter, R0IsHardwiredZero) {
+  isa::Inst i;
+  i.op = Op::kAddi;
+  i.rd = isa::kRegZero;
+  i.rs1 = 10;
+  i.imm = 5;
+  Harness h(i);
+  h.run(100, 0);
+  EXPECT_EQ(h.tc->ireg(isa::kRegZero), 0u);
+}
+
+TEST(Interpreter, LoadStoreRoundTrip) {
+  ProgramBuilder b("m");
+  isa::Reg addr = b.ireg(), v = b.ireg(), out = b.ireg();
+  b.li(addr, 4096);
+  b.li(v, 777);
+  b.st(addr, 8, v);
+  b.ld(out, addr, 8);
+  b.halt();
+  mem::PagedMemory memory;
+  const isa::Program p = b.take();
+  ThreadContext tc(0, p, memory, 0, 1, 0);
+  DynInst d;
+  while (tc.step(d)) {
+  }
+  EXPECT_EQ(memory.read(4104), 777u);
+  EXPECT_EQ(tc.ireg(out.idx), 777u);
+}
+
+TEST(Interpreter, FpLoadStoreRoundTrip) {
+  ProgramBuilder b("m");
+  isa::Reg addr = b.ireg();
+  isa::Freg f = b.freg(), g = b.freg();
+  b.li(addr, 4096);
+  b.fld(f, addr, 0);
+  b.fadd(f, f, f);
+  b.fst(addr, 8, f);
+  b.fld(g, addr, 8);
+  b.halt();
+  mem::PagedMemory memory;
+  memory.write_double(4096, 2.5);
+  const isa::Program p = b.take();
+  ThreadContext tc(0, p, memory, 0, 1, 0);
+  DynInst d;
+  while (tc.step(d)) {
+  }
+  EXPECT_DOUBLE_EQ(memory.read_double(4104), 5.0);
+  EXPECT_DOUBLE_EQ(tc.freg(g.idx), 5.0);
+}
+
+TEST(Interpreter, MemAddressReported) {
+  isa::Inst i;
+  i.op = Op::kLd;
+  i.rd = 12;
+  i.rs1 = 10;
+  i.imm = 24;
+  Harness h(i);
+  const DynInst d = h.run(4096, 0);
+  EXPECT_EQ(d.mem_addr, 4120u);
+}
+
+TEST(Interpreter, BranchOutcomesReported) {
+  ProgramBuilder b("br");
+  isa::Reg r = b.ireg();
+  isa::Label t = b.new_label();
+  b.li(r, 1);
+  b.bne(r, ProgramBuilder::zero(), t);  // taken
+  b.nop();
+  b.bind(t);
+  b.beq(r, ProgramBuilder::zero(), t);  // not taken
+  b.halt();
+  mem::PagedMemory memory;
+  const isa::Program p = b.take();
+  ThreadContext tc(0, p, memory, 0, 1, 0);
+  DynInst d;
+  tc.step(d);  // li
+  tc.step(d);  // bne
+  EXPECT_TRUE(d.branch_taken);
+  EXPECT_EQ(d.next_pc, 3u);
+  EXPECT_EQ(tc.pc(), 3u);
+  tc.step(d);  // beq (not taken)
+  EXPECT_FALSE(d.branch_taken);
+  EXPECT_EQ(d.next_pc, 4u);
+}
+
+TEST(Interpreter, HaltEndsThread) {
+  ProgramBuilder b("h");
+  b.nop();
+  b.halt();
+  mem::PagedMemory memory;
+  const isa::Program p = b.take();
+  ThreadContext tc(0, p, memory, 0, 1, 0);
+  DynInst d;
+  EXPECT_TRUE(tc.step(d));
+  EXPECT_FALSE(tc.done());
+  EXPECT_TRUE(tc.step(d));
+  EXPECT_TRUE(tc.done());
+  EXPECT_FALSE(tc.step(d));
+  EXPECT_EQ(tc.instret(), 2u);
+}
+
+TEST(Interpreter, EntryRegisterConventions) {
+  ProgramBuilder b("e");
+  b.halt();
+  mem::PagedMemory memory;
+  const isa::Program p = b.take();
+  ThreadContext tc(3, p, memory, 3, 8, 0xABC0);
+  EXPECT_EQ(tc.ireg(isa::kRegZero), 0u);
+  EXPECT_EQ(tc.ireg(isa::kRegTid), 3u);
+  EXPECT_EQ(tc.ireg(isa::kRegNThreads), 8u);
+  EXPECT_EQ(tc.ireg(isa::kRegArgs), 0xABC0u);
+}
+
+TEST(Interpreter, AtomicsReturnOldValue) {
+  ProgramBuilder b("a");
+  isa::Reg addr = b.ireg(), v = b.ireg(), old1 = b.ireg(), old2 = b.ireg();
+  b.li(addr, 4096);
+  b.li(v, 5);
+  b.amoswap(old1, addr, v);
+  b.amoadd(old2, addr, v);
+  b.halt();
+  mem::PagedMemory memory;
+  memory.write(4096, 9);
+  const isa::Program p = b.take();
+  ThreadContext tc(0, p, memory, 0, 1, 0);
+  DynInst d;
+  while (tc.step(d)) {
+  }
+  EXPECT_EQ(tc.ireg(old1.idx), 9u);   // amoswap old
+  EXPECT_EQ(tc.ireg(old2.idx), 5u);   // amoadd old (post-swap value)
+  EXPECT_EQ(memory.read(4096), 10u);  // 5 + 5
+}
+
+}  // namespace
+}  // namespace csmt::exec

@@ -1,0 +1,278 @@
+// Unit tests for the ISA layer: opcode metadata (Table 1), the program
+// builder (labels, registers, loops, sync regions), and the disassembler.
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace csmt::isa {
+namespace {
+
+// ---------- opcode metadata --------------------------------------------
+
+class OpInfoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpInfoTest, MetadataIsSelfConsistent) {
+  const Op op = static_cast<Op>(GetParam());
+  const OpInfo& oi = op_info(op);
+  EXPECT_NE(op_name(op), nullptr);
+  EXPECT_GT(std::string(op_name(op)).size(), 0u);
+  EXPECT_GE(oi.latency, 1);
+  // Memory ops execute on the load/store unit.
+  if (oi.is_load || oi.is_store) {
+    EXPECT_EQ(oi.fu, FuClass::kLdSt);
+  }
+  // Atomics both read and write memory.
+  if (oi.is_atomic) {
+    EXPECT_TRUE(oi.is_load && oi.is_store);
+  }
+  // An instruction writes at most one register file.
+  EXPECT_FALSE(oi.writes_int && oi.writes_fp);
+  // Conditional branches are branches.
+  if (oi.is_cond_branch) {
+    EXPECT_TRUE(oi.is_branch);
+  }
+  // Branches do not write registers in this ISA.
+  if (oi.is_branch) {
+    EXPECT_FALSE(oi.writes_int || oi.writes_fp);
+  }
+  // rs1 belongs to exactly one register file.
+  EXPECT_FALSE(oi.reads_int1 && oi.reads_fp1);
+  EXPECT_FALSE(oi.reads_int2 && oi.reads_fp2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpInfoTest,
+                         ::testing::Range(0, static_cast<int>(kNumOps)));
+
+TEST(OpInfo, Table1Latencies) {
+  EXPECT_EQ(op_info(Op::kAdd).latency, 1);
+  EXPECT_EQ(op_info(Op::kSll).latency, 1);
+  EXPECT_EQ(op_info(Op::kMul).latency, 2);
+  EXPECT_EQ(op_info(Op::kDiv).latency, 8);
+  EXPECT_EQ(op_info(Op::kBeq).latency, 1);
+  EXPECT_EQ(op_info(Op::kLd).latency, 2);
+  EXPECT_EQ(op_info(Op::kSt).latency, 1);
+  EXPECT_EQ(op_info(Op::kFadd).latency, 1);
+  EXPECT_EQ(op_info(Op::kFmul).latency, 2);
+  EXPECT_EQ(op_info(Op::kFdivS).latency, 4);
+  EXPECT_EQ(op_info(Op::kFdivD).latency, 7);
+}
+
+TEST(OpInfo, FuClasses) {
+  EXPECT_EQ(op_info(Op::kAdd).fu, FuClass::kInt);
+  EXPECT_EQ(op_info(Op::kBne).fu, FuClass::kInt);
+  EXPECT_EQ(op_info(Op::kLd).fu, FuClass::kLdSt);
+  EXPECT_EQ(op_info(Op::kFst).fu, FuClass::kLdSt);
+  EXPECT_EQ(op_info(Op::kFadd).fu, FuClass::kFp);
+  EXPECT_EQ(op_info(Op::kNop).fu, FuClass::kNone);
+  EXPECT_EQ(op_info(Op::kHalt).fu, FuClass::kNone);
+}
+
+TEST(OpInfo, SyncPrimitivesAreAtomicMemoryOps) {
+  EXPECT_TRUE(op_info(Op::kSyncBarrier).is_atomic);
+  EXPECT_TRUE(op_info(Op::kSyncLockAcq).is_atomic);
+  EXPECT_TRUE(op_info(Op::kSyncLockRel).is_store);
+  EXPECT_EQ(op_info(Op::kSyncBarrier).fu, FuClass::kLdSt);
+}
+
+// ---------- builder ------------------------------------------------------
+
+TEST(Builder, EmitsAndResolvesLabels) {
+  ProgramBuilder b("t");
+  Reg r = b.ireg();
+  Label skip = b.new_label();
+  b.li(r, 1);
+  b.beq(r, ProgramBuilder::zero(), skip);
+  b.li(r, 2);
+  b.bind(skip);
+  b.halt();
+  const Program p = b.take();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(1).op, Op::kBeq);
+  EXPECT_EQ(p.at(1).imm, 3);  // resolved to the instruction after "li r,2"
+}
+
+TEST(Builder, BackwardBranchTargets) {
+  ProgramBuilder b("t");
+  Reg r = b.ireg();
+  b.li(r, 10);
+  Label top = b.new_label();
+  b.bind(top);
+  b.addi(r, r, -1);
+  b.bne(r, ProgramBuilder::zero(), top);
+  b.halt();
+  const Program p = b.take();
+  EXPECT_EQ(p.at(2).imm, 1);
+}
+
+TEST(Builder, RegisterAllocationIsExclusive) {
+  ProgramBuilder b("t");
+  std::set<RegIdx> seen;
+  for (int i = 0; i < 28; ++i) {
+    const Reg r = b.ireg();
+    EXPECT_GE(r.idx, 4);  // r0..r3 reserved
+    EXPECT_TRUE(seen.insert(r.idx).second) << "duplicate register";
+  }
+}
+
+TEST(Builder, ReleaseEnablesReuse) {
+  ProgramBuilder b("t");
+  const Reg a = b.ireg();
+  const RegIdx idx = a.idx;
+  b.release(a);
+  const Reg c = b.ireg();
+  EXPECT_EQ(c.idx, idx);
+}
+
+TEST(BuilderDeath, ExhaustingIntRegistersAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        ProgramBuilder b("t");
+        for (int i = 0; i < 29; ++i) b.ireg();
+      },
+      "exhausted");
+}
+
+TEST(BuilderDeath, DoubleReleaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        ProgramBuilder b("t");
+        Reg r = b.ireg();
+        b.release(r);
+        b.release(r);
+      },
+      "double release");
+}
+
+TEST(BuilderDeath, UnboundLabelAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        ProgramBuilder b("t");
+        Label l = b.new_label();
+        b.j(l);
+        b.take();
+      },
+      "unbound");
+}
+
+TEST(BuilderDeath, DoubleBindAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        ProgramBuilder b("t");
+        Label l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+      },
+      "twice");
+}
+
+TEST(Builder, SyncRegionsTagInstructions) {
+  ProgramBuilder b("t");
+  Reg r = b.ireg();
+  b.li(r, 1);
+  b.sync_begin();
+  b.addi(r, r, 1);
+  b.sync_end();
+  b.addi(r, r, 2);
+  b.halt();
+  const Program p = b.take();
+  EXPECT_FALSE(p.at(0).sync_tag);
+  EXPECT_TRUE(p.at(1).sync_tag);
+  EXPECT_FALSE(p.at(2).sync_tag);
+}
+
+TEST(Builder, SyncPrimitivesAreSyncTagged) {
+  ProgramBuilder b("t");
+  Reg bar = b.ireg();
+  b.li(bar, 64);
+  b.barrier(bar, ProgramBuilder::nthreads());
+  b.lock_acquire(bar);
+  b.lock_release(bar);
+  b.halt();
+  const Program p = b.take();
+  unsigned sync_count = 0;
+  for (const Inst& inst : p.code()) sync_count += inst.sync_tag;
+  EXPECT_EQ(sync_count, 3u);  // barrier + acquire + release
+}
+
+TEST(Builder, SpinBarrierEmitsSpinLoop) {
+  ProgramBuilder b("t");
+  Reg bar = b.ireg(), sense = b.ireg();
+  b.li(bar, 64);
+  b.li(sense, 0);
+  b.spin_barrier(bar, sense, ProgramBuilder::nthreads());
+  b.halt();
+  const Program p = b.take();
+  // The spin barrier is a real instruction sequence with an atomic and
+  // loads, all sync-tagged.
+  unsigned sync_count = 0, atomics = 0, loads = 0;
+  for (const Inst& inst : p.code()) {
+    sync_count += inst.sync_tag;
+    atomics += inst.info().is_atomic;
+    loads += inst.op == Op::kLd;
+  }
+  EXPECT_GT(sync_count, 10u);
+  EXPECT_EQ(atomics, 1u);  // the amoadd
+  EXPECT_GE(loads, 1u);    // the spin load
+}
+
+TEST(Builder, ForRangeGuardsEmptyRanges) {
+  // for (i = 5; i < bound(=5); ...) must execute zero iterations: the
+  // first emitted instruction after li is a guard branch.
+  ProgramBuilder b("t");
+  Reg i = b.ireg(), bound = b.ireg();
+  b.li(bound, 5);
+  b.for_range(i, 5, bound, 1, [&] { b.nop(); });
+  b.halt();
+  const Program p = b.take();
+  EXPECT_EQ(p.at(2).op, Op::kBge);  // li bound, li i, then the guard
+}
+
+TEST(BuilderDeath, UnbalancedSyncAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        ProgramBuilder b("t");
+        b.sync_begin();
+        b.halt();
+        b.take();
+      },
+      "unbalanced");
+}
+
+// ---------- disassembler -------------------------------------------------
+
+TEST(Disasm, RendersCommonForms) {
+  ProgramBuilder b("t");
+  Reg r = b.ireg();
+  Freg f = b.freg();
+  b.li(r, 42);
+  b.ld(r, ProgramBuilder::args(), 16);
+  b.fadd(f, f, f);
+  b.halt();
+  const Program p = b.take();
+  const std::string text = p.disassemble();
+  EXPECT_NE(text.find("li"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("fadd"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+  EXPECT_NE(text.find("\"t\""), std::string::npos);
+}
+
+TEST(Disasm, MarksSyncInstructions) {
+  ProgramBuilder b("t");
+  Reg bar = b.ireg();
+  b.li(bar, 64);
+  b.barrier(bar, ProgramBuilder::nthreads());
+  b.halt();
+  const std::string text = b.take().disassemble();
+  EXPECT_NE(text.find("; sync"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csmt::isa

@@ -1,0 +1,157 @@
+// Section 2 model tests: delivered-performance formulas, region
+// classification, and the model's central property — the SMT optimal
+// region is a superset of the FA optimal region (checked as a sweep).
+#include <gtest/gtest.h>
+
+#include "model/parallelism_model.hpp"
+
+namespace csmt::model {
+namespace {
+
+using core::ArchKind;
+
+TEST(Shapes, PresetsMatchTable2) {
+  const ArchShape fa8 = ArchShape::from_preset(ArchKind::kFa8);
+  EXPECT_FALSE(fa8.smt);
+  EXPECT_EQ(fa8.max_threads, 8u);
+  EXPECT_DOUBLE_EQ(fa8.max_width, 1.0);
+
+  const ArchShape smt2 = ArchShape::from_preset(ArchKind::kSmt2);
+  EXPECT_TRUE(smt2.smt);
+  EXPECT_EQ(smt2.max_threads, 8u);
+  EXPECT_DOUBLE_EQ(smt2.max_width, 4.0);
+  EXPECT_DOUBLE_EQ(smt2.issue_budget, 8.0);
+}
+
+TEST(Delivered, FaIsMinTimesMin) {
+  const ArchShape fa2 = ArchShape::from_preset(ArchKind::kFa2);
+  // FA2: 2 threads x 4-issue.
+  EXPECT_DOUBLE_EQ(delivered_performance(fa2, {"", 5, 3}), 2 * 3.0);
+  EXPECT_DOUBLE_EQ(delivered_performance(fa2, {"", 1, 6}), 1 * 4.0);
+  EXPECT_DOUBLE_EQ(delivered_performance(fa2, {"", 2, 4}), 8.0);
+  EXPECT_DOUBLE_EQ(delivered_performance(fa2, {"", 0.5, 2}), 1.0);
+}
+
+TEST(Delivered, SmtSlidesAlongHyperbola) {
+  const ArchShape smt1 = ArchShape::from_preset(ArchKind::kSmt1);
+  // The centralized SMT adapts fully: perf = min(demand, 8).
+  EXPECT_DOUBLE_EQ(delivered_performance(smt1, {"", 5, 3}), 8.0);
+  EXPECT_DOUBLE_EQ(delivered_performance(smt1, {"", 2, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(delivered_performance(smt1, {"", 1, 6}), 6.0);
+  EXPECT_DOUBLE_EQ(delivered_performance(smt1, {"", 8, 1}), 8.0);
+}
+
+TEST(Delivered, ClusteredSmtIsWidthCapped) {
+  const ArchShape smt2 = ArchShape::from_preset(ArchKind::kSmt2);
+  // ILP above 4 per thread cannot be exploited (the paper's Y=4 line).
+  EXPECT_DOUBLE_EQ(delivered_performance(smt2, {"", 1, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(delivered_performance(smt2, {"", 2, 6}), 8.0);
+  // Below the cap it behaves like the centralized SMT.
+  EXPECT_DOUBLE_EQ(delivered_performance(smt2, {"", 5, 1.5}), 7.5);
+}
+
+TEST(Delivered, PaperExampleApplicationA) {
+  // Figure 1: A = (5 threads, 3 ILP). FA2 extracts only 2x3 = 6;
+  // SMT2 extracts the full 8 (e.g. as ~2.67 threads x 3 ILP).
+  const AppPoint a{"A", 5, 3};
+  EXPECT_DOUBLE_EQ(
+      delivered_performance(ArchShape::from_preset(ArchKind::kFa2), a), 6.0);
+  EXPECT_DOUBLE_EQ(
+      delivered_performance(ArchShape::from_preset(ArchKind::kSmt2), a), 8.0);
+}
+
+TEST(Peak, MatchesBoxArea) {
+  EXPECT_DOUBLE_EQ(peak_performance(ArchShape::from_preset(ArchKind::kFa4)),
+                   8.0);
+  EXPECT_DOUBLE_EQ(peak_performance(ArchShape::from_preset(ArchKind::kSmt1)),
+                   8.0);
+}
+
+TEST(Regions, ClassifiesPaperRegions) {
+  const ArchShape fa2 = ArchShape::from_preset(ArchKind::kFa2);
+  // (1): small app inside the box -> fully exploited, proc under-utilized.
+  EXPECT_EQ(classify(fa2, {"", 1, 2}), Region::kAppLimited);
+  // (2): app dominates the box -> processor fully utilized (optimal).
+  EXPECT_EQ(classify(fa2, {"", 4, 6}), Region::kOptimal);
+  // (3): many threads but no ILP -> both under-utilized.
+  EXPECT_EQ(classify(fa2, {"", 8, 1}), Region::kBothUnderUtilized);
+}
+
+TEST(Regions, SmtOptimalRegionIsSuperset) {
+  // Property (the model's core claim, §2): wherever an FA processor is in
+  // its optimal region, the same-cluster-width SMT is optimal too.
+  const std::pair<ArchKind, ArchKind> pairs[] = {
+      {ArchKind::kFa4, ArchKind::kSmt4},
+      {ArchKind::kFa2, ArchKind::kSmt2},
+      {ArchKind::kFa1, ArchKind::kSmt1},
+  };
+  for (const auto& [fa_kind, smt_kind] : pairs) {
+    const ArchShape fa = ArchShape::from_preset(fa_kind);
+    const ArchShape smt = ArchShape::from_preset(smt_kind);
+    for (double t = 0.5; t <= 8.0; t += 0.5) {
+      for (double i = 0.5; i <= 8.0; i += 0.5) {
+        const AppPoint app{"p", t, i};
+        if (classify(fa, app) == Region::kOptimal) {
+          EXPECT_EQ(classify(smt, app), Region::kOptimal)
+              << fa.name << "/" << smt.name << " at (" << t << "," << i
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Regions, SmtDominatesFaEverywhere) {
+  // Delivered performance of SMT_c >= FA_c (matching cluster width) for
+  // every app point, swept over a grid.
+  for (const auto& [fa_kind, smt_kind] :
+       {std::pair{ArchKind::kFa4, ArchKind::kSmt4},
+        std::pair{ArchKind::kFa2, ArchKind::kSmt2},
+        std::pair{ArchKind::kFa1, ArchKind::kSmt1}}) {
+    const ArchShape fa = ArchShape::from_preset(fa_kind);
+    const ArchShape smt = ArchShape::from_preset(smt_kind);
+    for (double t = 0.25; t <= 9.0; t += 0.25) {
+      for (double i = 0.25; i <= 9.0; i += 0.25) {
+        const AppPoint app{"p", t, i};
+        EXPECT_GE(delivered_performance(smt, app) + 1e-12,
+                  delivered_performance(fa, app))
+            << smt.name << " vs " << fa.name << " at (" << t << "," << i
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(Regions, Smt1DominatesEveryFa) {
+  for (const ArchKind fa_kind : {ArchKind::kFa8, ArchKind::kFa4,
+                                 ArchKind::kFa2, ArchKind::kFa1}) {
+    const ArchShape fa = ArchShape::from_preset(fa_kind);
+    const ArchShape smt1 = ArchShape::from_preset(ArchKind::kSmt1);
+    for (double t = 0.5; t <= 8.0; t += 0.5) {
+      for (double i = 0.5; i <= 8.0; i += 0.5) {
+        const AppPoint app{"p", t, i};
+        EXPECT_GE(delivered_performance(smt1, app) + 1e-12,
+                  delivered_performance(fa, app));
+      }
+    }
+  }
+}
+
+TEST(Ranking, SortsByDelivered) {
+  const auto rows = rank_architectures({"x", 5, 3});
+  ASSERT_FALSE(rows.empty());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].delivered, rows[i].delivered);
+  }
+  // For (5,3), an adaptable SMT must rank first with the full budget.
+  EXPECT_DOUBLE_EQ(rows.front().delivered, 8.0);
+}
+
+TEST(RegionNames, AreStable) {
+  EXPECT_STREQ(region_name(Region::kOptimal), "optimal");
+  EXPECT_STREQ(region_name(Region::kAppLimited), "app-limited");
+  EXPECT_STREQ(region_name(Region::kBothUnderUtilized), "under-utilized");
+}
+
+}  // namespace
+}  // namespace csmt::model

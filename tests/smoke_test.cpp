@@ -1,0 +1,16 @@
+// End-to-end smoke: swim runs on SMT2 and produces the host-validated result.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+TEST(Smoke, SwimOnSmt2LowEnd) {
+  csmt::sim::ExperimentSpec spec;
+  spec.workload = "swim";
+  spec.arch = csmt::core::ArchKind::kSmt2;
+  spec.scale = 1;
+  const auto r = csmt::sim::run_experiment(spec);
+  EXPECT_TRUE(r.validated);
+  EXPECT_GT(r.stats.cycles, 0u);
+  EXPECT_GT(r.stats.committed_useful, 0u);
+  EXPECT_FALSE(r.stats.timed_out);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cycle_time.dir/ablation_cycle_time.cpp.o"
+  "CMakeFiles/ablation_cycle_time.dir/ablation_cycle_time.cpp.o.d"
+  "ablation_cycle_time"
+  "ablation_cycle_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cycle_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

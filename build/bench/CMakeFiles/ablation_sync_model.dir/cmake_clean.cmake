@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_model.dir/ablation_sync_model.cpp.o"
+  "CMakeFiles/ablation_sync_model.dir/ablation_sync_model.cpp.o.d"
+  "ablation_sync_model"
+  "ablation_sync_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

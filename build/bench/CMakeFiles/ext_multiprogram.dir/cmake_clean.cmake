@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiprogram.dir/ext_multiprogram.cpp.o"
+  "CMakeFiles/ext_multiprogram.dir/ext_multiprogram.cpp.o.d"
+  "ext_multiprogram"
+  "ext_multiprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

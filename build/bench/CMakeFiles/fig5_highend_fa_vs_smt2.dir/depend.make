@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_highend_fa_vs_smt2.
+# This may be replaced when dependencies are built.

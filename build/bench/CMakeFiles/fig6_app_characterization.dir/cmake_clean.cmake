@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_app_characterization.dir/fig6_app_characterization.cpp.o"
+  "CMakeFiles/fig6_app_characterization.dir/fig6_app_characterization.cpp.o.d"
+  "fig6_app_characterization"
+  "fig6_app_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_app_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

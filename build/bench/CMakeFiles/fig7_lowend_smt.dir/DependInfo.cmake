@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_lowend_smt.cpp" "bench/CMakeFiles/fig7_lowend_smt.dir/fig7_lowend_smt.cpp.o" "gcc" "bench/CMakeFiles/fig7_lowend_smt.dir/fig7_lowend_smt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/csmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/csmt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/csmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/csmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/csmt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/csmt_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/csmt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/csmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/csmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lowend_smt.dir/fig7_lowend_smt.cpp.o"
+  "CMakeFiles/fig7_lowend_smt.dir/fig7_lowend_smt.cpp.o.d"
+  "fig7_lowend_smt"
+  "fig7_lowend_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lowend_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

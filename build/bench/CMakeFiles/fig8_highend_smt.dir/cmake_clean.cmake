@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_highend_smt.dir/fig8_highend_smt.cpp.o"
+  "CMakeFiles/fig8_highend_smt.dir/fig8_highend_smt.cpp.o.d"
+  "fig8_highend_smt"
+  "fig8_highend_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_highend_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_memory_latency.dir/table3_memory_latency.cpp.o"
+  "CMakeFiles/table3_memory_latency.dir/table3_memory_latency.cpp.o.d"
+  "table3_memory_latency"
+  "table3_memory_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_memory_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

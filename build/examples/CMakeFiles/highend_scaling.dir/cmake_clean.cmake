@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highend_scaling.dir/highend_scaling.cpp.o"
+  "CMakeFiles/highend_scaling.dir/highend_scaling.cpp.o.d"
+  "highend_scaling"
+  "highend_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highend_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

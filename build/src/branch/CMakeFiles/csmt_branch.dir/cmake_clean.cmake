@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_branch.dir/predictor.cpp.o"
+  "CMakeFiles/csmt_branch.dir/predictor.cpp.o.d"
+  "libcsmt_branch.a"
+  "libcsmt_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_cache.dir/cache_array.cpp.o"
+  "CMakeFiles/csmt_cache.dir/cache_array.cpp.o.d"
+  "CMakeFiles/csmt_cache.dir/memsys.cpp.o"
+  "CMakeFiles/csmt_cache.dir/memsys.cpp.o.d"
+  "libcsmt_cache.a"
+  "libcsmt_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_common.dir/stats.cpp.o"
+  "CMakeFiles/csmt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/csmt_common.dir/table.cpp.o"
+  "CMakeFiles/csmt_common.dir/table.cpp.o.d"
+  "libcsmt_common.a"
+  "libcsmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arch_config.cpp" "src/core/CMakeFiles/csmt_core.dir/arch_config.cpp.o" "gcc" "src/core/CMakeFiles/csmt_core.dir/arch_config.cpp.o.d"
+  "/root/repo/src/core/chip.cpp" "src/core/CMakeFiles/csmt_core.dir/chip.cpp.o" "gcc" "src/core/CMakeFiles/csmt_core.dir/chip.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/csmt_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/csmt_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/hazards.cpp" "src/core/CMakeFiles/csmt_core.dir/hazards.cpp.o" "gcc" "src/core/CMakeFiles/csmt_core.dir/hazards.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/branch/CMakeFiles/csmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/csmt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/csmt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/csmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_core.dir/arch_config.cpp.o"
+  "CMakeFiles/csmt_core.dir/arch_config.cpp.o.d"
+  "CMakeFiles/csmt_core.dir/chip.cpp.o"
+  "CMakeFiles/csmt_core.dir/chip.cpp.o.d"
+  "CMakeFiles/csmt_core.dir/cluster.cpp.o"
+  "CMakeFiles/csmt_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/csmt_core.dir/hazards.cpp.o"
+  "CMakeFiles/csmt_core.dir/hazards.cpp.o.d"
+  "libcsmt_core.a"
+  "libcsmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

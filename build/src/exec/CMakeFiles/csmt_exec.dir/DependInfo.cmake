@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/sync.cpp" "src/exec/CMakeFiles/csmt_exec.dir/sync.cpp.o" "gcc" "src/exec/CMakeFiles/csmt_exec.dir/sync.cpp.o.d"
+  "/root/repo/src/exec/thread_context.cpp" "src/exec/CMakeFiles/csmt_exec.dir/thread_context.cpp.o" "gcc" "src/exec/CMakeFiles/csmt_exec.dir/thread_context.cpp.o.d"
+  "/root/repo/src/exec/thread_group.cpp" "src/exec/CMakeFiles/csmt_exec.dir/thread_group.cpp.o" "gcc" "src/exec/CMakeFiles/csmt_exec.dir/thread_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/csmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

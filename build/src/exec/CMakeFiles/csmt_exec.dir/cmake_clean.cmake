@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_exec.dir/sync.cpp.o"
+  "CMakeFiles/csmt_exec.dir/sync.cpp.o.d"
+  "CMakeFiles/csmt_exec.dir/thread_context.cpp.o"
+  "CMakeFiles/csmt_exec.dir/thread_context.cpp.o.d"
+  "CMakeFiles/csmt_exec.dir/thread_group.cpp.o"
+  "CMakeFiles/csmt_exec.dir/thread_group.cpp.o.d"
+  "libcsmt_exec.a"
+  "libcsmt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsmt_exec.a"
+)

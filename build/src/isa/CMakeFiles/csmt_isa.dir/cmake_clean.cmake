@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_isa.dir/builder.cpp.o"
+  "CMakeFiles/csmt_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/csmt_isa.dir/opcode.cpp.o"
+  "CMakeFiles/csmt_isa.dir/opcode.cpp.o.d"
+  "CMakeFiles/csmt_isa.dir/program.cpp.o"
+  "CMakeFiles/csmt_isa.dir/program.cpp.o.d"
+  "libcsmt_isa.a"
+  "libcsmt_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_model.dir/parallelism_model.cpp.o"
+  "CMakeFiles/csmt_model.dir/parallelism_model.cpp.o.d"
+  "libcsmt_model.a"
+  "libcsmt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_noc.dir/dash.cpp.o"
+  "CMakeFiles/csmt_noc.dir/dash.cpp.o.d"
+  "libcsmt_noc.a"
+  "libcsmt_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

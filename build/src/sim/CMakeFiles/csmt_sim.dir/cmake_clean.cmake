@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_sim.dir/experiment.cpp.o"
+  "CMakeFiles/csmt_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/csmt_sim.dir/machine.cpp.o"
+  "CMakeFiles/csmt_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/csmt_sim.dir/report.cpp.o"
+  "CMakeFiles/csmt_sim.dir/report.cpp.o.d"
+  "libcsmt_sim.a"
+  "libcsmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fmm.cpp" "src/workloads/CMakeFiles/csmt_workloads.dir/fmm.cpp.o" "gcc" "src/workloads/CMakeFiles/csmt_workloads.dir/fmm.cpp.o.d"
+  "/root/repo/src/workloads/mgrid.cpp" "src/workloads/CMakeFiles/csmt_workloads.dir/mgrid.cpp.o" "gcc" "src/workloads/CMakeFiles/csmt_workloads.dir/mgrid.cpp.o.d"
+  "/root/repo/src/workloads/ocean.cpp" "src/workloads/CMakeFiles/csmt_workloads.dir/ocean.cpp.o" "gcc" "src/workloads/CMakeFiles/csmt_workloads.dir/ocean.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/csmt_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/csmt_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/swim.cpp" "src/workloads/CMakeFiles/csmt_workloads.dir/swim.cpp.o" "gcc" "src/workloads/CMakeFiles/csmt_workloads.dir/swim.cpp.o.d"
+  "/root/repo/src/workloads/tomcatv.cpp" "src/workloads/CMakeFiles/csmt_workloads.dir/tomcatv.cpp.o" "gcc" "src/workloads/CMakeFiles/csmt_workloads.dir/tomcatv.cpp.o.d"
+  "/root/repo/src/workloads/util.cpp" "src/workloads/CMakeFiles/csmt_workloads.dir/util.cpp.o" "gcc" "src/workloads/CMakeFiles/csmt_workloads.dir/util.cpp.o.d"
+  "/root/repo/src/workloads/vpenta.cpp" "src/workloads/CMakeFiles/csmt_workloads.dir/vpenta.cpp.o" "gcc" "src/workloads/CMakeFiles/csmt_workloads.dir/vpenta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/csmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csmt_workloads.dir/fmm.cpp.o"
+  "CMakeFiles/csmt_workloads.dir/fmm.cpp.o.d"
+  "CMakeFiles/csmt_workloads.dir/mgrid.cpp.o"
+  "CMakeFiles/csmt_workloads.dir/mgrid.cpp.o.d"
+  "CMakeFiles/csmt_workloads.dir/ocean.cpp.o"
+  "CMakeFiles/csmt_workloads.dir/ocean.cpp.o.d"
+  "CMakeFiles/csmt_workloads.dir/registry.cpp.o"
+  "CMakeFiles/csmt_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/csmt_workloads.dir/swim.cpp.o"
+  "CMakeFiles/csmt_workloads.dir/swim.cpp.o.d"
+  "CMakeFiles/csmt_workloads.dir/tomcatv.cpp.o"
+  "CMakeFiles/csmt_workloads.dir/tomcatv.cpp.o.d"
+  "CMakeFiles/csmt_workloads.dir/util.cpp.o"
+  "CMakeFiles/csmt_workloads.dir/util.cpp.o.d"
+  "CMakeFiles/csmt_workloads.dir/vpenta.cpp.o"
+  "CMakeFiles/csmt_workloads.dir/vpenta.cpp.o.d"
+  "libcsmt_workloads.a"
+  "libcsmt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csmt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_interpreter_test.dir/exec_interpreter_test.cpp.o"
+  "CMakeFiles/exec_interpreter_test.dir/exec_interpreter_test.cpp.o.d"
+  "exec_interpreter_test"
+  "exec_interpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_sync_test.dir/exec_sync_test.cpp.o"
+  "CMakeFiles/exec_sync_test.dir/exec_sync_test.cpp.o.d"
+  "exec_sync_test"
+  "exec_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogram_test.dir/multiprogram_test.cpp.o"
+  "CMakeFiles/multiprogram_test.dir/multiprogram_test.cpp.o.d"
+  "multiprogram_test"
+  "multiprogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

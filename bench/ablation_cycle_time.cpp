@@ -28,19 +28,21 @@ double clock_factor(csmt::core::ArchKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csmt;
-  const unsigned scale = bench::scale_from_env();
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
   const std::vector<core::ArchKind> archs = {
       core::ArchKind::kSmt8, core::ArchKind::kSmt4, core::ArchKind::kSmt2,
       core::ArchKind::kSmt1};
 
+  std::vector<sim::ExperimentResult> all;
   for (const unsigned chips : {1u, 4u}) {
     std::printf("== Ablation A3: cycle-time-adjusted SMT comparison "
                 "(%s, scale %u) ==\n",
-                chips == 1 ? "low-end" : "high-end", scale);
+                chips == 1 ? "low-end" : "high-end", opt.scale);
     const auto results =
-        bench::run_grid(bench::paper_workloads(), archs, chips, scale);
+        bench::run_figure_grid(opt, bench::paper_workloads(), archs, chips);
+    all.insert(all.end(), results.begin(), results.end());
 
     AsciiTable t;
     t.header({"workload", "arch", "cycles", "clock x", "time (norm SMT8)",
@@ -65,6 +67,7 @@ int main() {
     }
     std::printf("%s\n", t.render().c_str());
   }
+  bench::export_json(opt, all);
   std::printf(
       "Expectation: in raw cycles SMT1 edges out SMT2, but with the [12]\n"
       "clock factors SMT2 is decisively faster — the paper's conclusion\n"

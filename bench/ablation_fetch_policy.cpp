@@ -7,9 +7,9 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csmt;
-  const unsigned scale = bench::scale_from_env();
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
   struct Policy {
     core::FetchPolicy policy;
     const char* name;
@@ -20,10 +20,28 @@ int main() {
       {core::FetchPolicy::kIcount, "ICOUNT"},
   };
 
+  std::vector<sim::ExperimentResult> all;
   for (const core::ArchKind arch :
        {core::ArchKind::kSmt2, core::ArchKind::kSmt1}) {
     std::printf("== Ablation A1: fetch policy on %s (low-end, scale %u) ==\n",
-                core::arch_name(arch), scale);
+                core::arch_name(arch), opt.scale);
+    // Non-cartesian in the policy axis, so hand the runner an explicit
+    // point list: workload-major, one point per (workload, policy).
+    std::vector<sim::ExperimentSpec> points;
+    for (const std::string& w : bench::paper_workloads()) {
+      for (const Policy& p : policies) {
+        sim::ExperimentSpec spec;
+        spec.workload = w;
+        spec.arch = arch;
+        spec.scale = opt.scale;
+        spec.fetch_policy = p.policy;
+        points.push_back(std::move(spec));
+      }
+    }
+    sweep::SweepRunner runner(opt.sweep);
+    const auto results = runner.run(points);
+    all.insert(all.end(), results.begin(), results.end());
+
     AsciiTable t;
     std::vector<std::string> header = {"workload"};
     for (const Policy& p : policies) {
@@ -31,26 +49,18 @@ int main() {
       header.push_back(std::string(p.name) + " fetch%");
     }
     t.header(header);
-    for (const std::string& w : bench::paper_workloads()) {
-      std::vector<std::string> row = {w};
-      for (const Policy& p : policies) {
-        sim::ExperimentSpec spec;
-        spec.workload = w;
-        spec.arch = arch;
-        spec.scale = scale;
-        spec.fetch_policy = p.policy;
-        const auto r = sim::run_experiment(spec);
-        row.push_back(format_count(r.stats.cycles));
-        row.push_back(
-            format_percent(r.stats.slots.fraction(core::Slot::kFetch)));
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
+    for (std::size_t i = 0; i < results.size();) {
+      std::vector<std::string> row = {results[i].spec.workload};
+      for (std::size_t p = 0; p < std::size(policies); ++p, ++i) {
+        row.push_back(format_count(results[i].stats.cycles));
+        row.push_back(format_percent(
+            results[i].stats.slots.fraction(core::Slot::kFetch)));
       }
       t.row(row);
     }
-    std::fprintf(stderr, "\n");
     std::printf("%s\n", t.render().c_str());
   }
+  bench::export_json(opt, all);
   std::printf(
       "Expectation: ICOUNT trims the fetch share relative to round-robin,\n"
       "most visibly on the centralized SMT1 — the effect Tullsen et al.\n"

@@ -10,49 +10,51 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csmt;
-  const unsigned scale = bench::scale_from_env();
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
 
+  std::vector<sim::ExperimentResult> all;
   for (const core::ArchKind arch :
        {core::ArchKind::kFa8, core::ArchKind::kSmt2}) {
     std::printf("== Ablation A5: shared vs private L1 on %s (low-end, "
                 "scale %u) ==\n",
-                core::arch_name(arch), scale);
+                core::arch_name(arch), opt.scale);
+
+    // (shared, private) pair per workload, via the l1_private override.
+    std::vector<sim::ExperimentSpec> points;
+    for (const std::string& w : bench::paper_workloads()) {
+      for (const bool priv : {false, true}) {
+        sim::ExperimentSpec spec;
+        spec.workload = w;
+        spec.arch = arch;
+        spec.scale = opt.scale;
+        spec.l1_private = priv;
+        points.push_back(std::move(spec));
+      }
+    }
+    sweep::SweepRunner runner(opt.sweep);
+    const auto results = runner.run(points);
+    all.insert(all.end(), results.begin(), results.end());
+
     AsciiTable t;
     t.header({"workload", "shared L1 cycles", "private L1 cycles", "delta",
               "shared L1 miss", "private L1 miss", "cross-invalidations"});
-    for (const std::string& w : bench::paper_workloads()) {
-      Cycle cycles[2];
-      double miss[2];
-      std::uint64_t xinval = 0;
-      for (const bool priv : {false, true}) {
-        sim::MachineConfig mc;
-        mc.arch = core::arch_preset(arch);
-        mc.mem.l1_private = priv;
-        sim::Machine machine(mc);
-        const auto wl = workloads::make_workload(w);
-        mem::PagedMemory memory;
-        const auto build = wl->build(memory, mc.total_threads(), scale);
-        const auto stats = machine.run(build.program, memory, build.args_base);
-        cycles[priv] = stats.cycles;
-        miss[priv] = stats.mem.l1_miss_rate;
-        if (priv) {
-          xinval = machine.chip(0).memsys().stats().l1_cross_invalidations;
-        }
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
-      }
-      t.row({w, format_count(cycles[0]), format_count(cycles[1]),
-             format_percent(static_cast<double>(cycles[1]) /
-                                static_cast<double>(cycles[0]) -
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+      const sim::RunStats& shared = results[i].stats;
+      const sim::RunStats& priv = results[i + 1].stats;
+      t.row({results[i].spec.workload, format_count(shared.cycles),
+             format_count(priv.cycles),
+             format_percent(static_cast<double>(priv.cycles) /
+                                static_cast<double>(shared.cycles) -
                             1.0),
-             format_percent(miss[0]), format_percent(miss[1]),
-             format_count(xinval)});
+             format_percent(shared.mem.l1_miss_rate),
+             format_percent(priv.mem.l1_miss_rate),
+             format_count(priv.mem.l1_cross_invalidations)});
     }
-    std::fprintf(stderr, "\n");
     std::printf("%s\n", t.render().c_str());
   }
+  bench::export_json(opt, all);
   std::printf(
       "Expectation: the private variant pays capacity misses (each cluster\n"
       "keeps 1/clusters of the L1) and write-invalidate misses on shared\n"

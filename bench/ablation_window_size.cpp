@@ -6,47 +6,52 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csmt;
-  const unsigned scale = bench::scale_from_env();
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
   const unsigned sizes[] = {16, 32, 64, 128, 256};
 
   std::printf("== Ablation A2: SMT2 per-cluster window size (low-end, scale "
-              "%u) ==\n", scale);
+              "%u) ==\n", opt.scale);
+
+  // Workload-major point list with a per-point window override (renaming
+  // registers scale along, as in Table 2 — see ExperimentSpec).
+  std::vector<sim::ExperimentSpec> points;
+  for (const std::string& w : bench::paper_workloads()) {
+    for (const unsigned size : sizes) {
+      sim::ExperimentSpec spec;
+      spec.workload = w;
+      spec.arch = core::ArchKind::kSmt2;
+      spec.scale = opt.scale;
+      spec.window_size = size;
+      points.push_back(std::move(spec));
+    }
+  }
+  sweep::SweepRunner runner(opt.sweep);
+  const auto results = runner.run(points);
+
   AsciiTable t;
   std::vector<std::string> header = {"workload"};
   for (const unsigned s : sizes) header.push_back(std::to_string(s));
   header.push_back("Table 2 (64) vs best");
   t.header(header);
 
-  for (const std::string& w : bench::paper_workloads()) {
-    std::vector<std::string> row = {w};
+  for (std::size_t i = 0; i < results.size();) {
+    std::vector<std::string> row = {results[i].spec.workload};
     Cycle best = kNeverCycle;
     Cycle at64 = 0;
-    for (const unsigned size : sizes) {
-      sim::MachineConfig mc;
-      mc.arch = core::arch_preset(core::ArchKind::kSmt2);
-      mc.arch.cluster.iq_entries = size;
-      mc.arch.cluster.rob_entries = size;
-      mc.arch.cluster.int_rename = size;
-      mc.arch.cluster.fp_rename = size;
-      sim::Machine machine(mc);
-      const auto wl = workloads::make_workload(w);
-      mem::PagedMemory memory;
-      const auto build = wl->build(memory, mc.total_threads(), scale);
-      const auto stats = machine.run(build.program, memory, build.args_base);
-      row.push_back(format_count(stats.cycles));
-      best = std::min(best, stats.cycles);
-      if (size == 64) at64 = stats.cycles;
-      std::fprintf(stderr, ".");
-      std::fflush(stderr);
+    for (std::size_t s = 0; s < std::size(sizes); ++s, ++i) {
+      const Cycle cycles = results[i].stats.cycles;
+      row.push_back(format_count(cycles));
+      best = std::min(best, cycles);
+      if (sizes[s] == 64) at64 = cycles;
     }
     row.push_back("+" + format_percent(static_cast<double>(at64 - best) /
                                        static_cast<double>(best)));
     t.row(row);
   }
-  std::fprintf(stderr, "\n");
   std::printf("%s\n", t.render().c_str());
+  bench::export_json(opt, results);
   std::printf(
       "Expectation: strong gains up to ~64 entries per cluster, then\n"
       "diminishing returns — supporting Table 2's 128-entry chip window.\n");

@@ -1,52 +1,151 @@
 // Shared plumbing for the figure/table bench binaries.
 //
 // Every bench prints (a) the paper-style normalized stacked-bar figure,
-// (b) a compact normalized table, and (c) a raw summary table. The problem
-// scale defaults to 4 (48..64-point grids — the paper's datasets shrunk to
-// simulator-friendly sizes, see DESIGN.md) and can be overridden with the
-// CSMT_SCALE environment variable for quick runs.
+// (b) a compact normalized table, and (c) a raw summary table, and can
+// additionally write the full results as a JSON artifact. Grids run
+// through csmt::sweep::SweepRunner: parallel across experiment points
+// (--jobs / CSMT_JOBS), cached on disk (--cache-dir / CSMT_CACHE_DIR),
+// deterministically ordered. The problem scale defaults to 4 (48..64-point
+// grids — the paper's datasets shrunk to simulator-friendly sizes, see
+// DESIGN.md) and can be overridden with --scale or CSMT_SCALE.
 #pragma once
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sweep/sweep.hpp"
 #include "workloads/workload.hpp"
 
 namespace csmt::bench {
 
 inline unsigned scale_from_env(unsigned fallback = 4) {
   if (const char* s = std::getenv("CSMT_SCALE")) {
-    const int v = std::atoi(s);
-    if (v >= 1) return static_cast<unsigned>(v);
+    unsigned v = 0;
+    const char* end = s + std::strlen(s);
+    const auto [p, ec] = std::from_chars(s, end, v);
+    if (ec == std::errc() && p == end && v >= 1) return v;
+    std::fprintf(stderr,
+                 "csmt: ignoring invalid CSMT_SCALE='%s' (want an integer "
+                 ">= 1), using %u\n",
+                 s, fallback);
   }
   return fallback;
 }
 
-/// Runs workloads x architectures on a machine with `chips` chips and
-/// returns the results in figure order (workload-major).
+/// Per-binary options: the sweep controls plus the problem scale and an
+/// optional JSON artifact path.
+struct BenchOptions {
+  unsigned scale = 4;
+  sweep::SweepOptions sweep;
+  std::string json_path;  ///< empty = no JSON artifact
+};
+
+/// Environment defaults (CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, CSMT_JSON)
+/// overridden by flags: --scale N, --jobs N, --cache-dir PATH, --json PATH
+/// (both "--flag value" and "--flag=value" forms). Unknown arguments abort
+/// with a usage message so typos don't silently run the wrong experiment.
+inline BenchOptions parse_options(int argc, char** argv,
+                                  unsigned default_scale = 4) {
+  BenchOptions opt;
+  opt.scale = scale_from_env(default_scale);
+  opt.sweep = sweep::SweepOptions::from_env();
+  if (const char* path = std::getenv("CSMT_JSON")) opt.json_path = path;
+
+  auto value_of = [&](int& i, const char* flag) -> const char* {
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, n) != 0) return nullptr;
+    if (argv[i][n] == '=') return argv[i] + n + 1;
+    if (argv[i][n] == '\0' && i + 1 < argc) return argv[++i];
+    return nullptr;
+  };
+  auto parse_unsigned = [](const char* s, const char* flag) -> unsigned {
+    unsigned v = 0;
+    const char* end = s + std::strlen(s);
+    const auto [p, ec] = std::from_chars(s, end, v);
+    if (ec != std::errc() || p != end) {
+      std::fprintf(stderr, "csmt: %s wants an integer, got '%s'\n", flag, s);
+      std::exit(2);
+    }
+    return v;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value_of(i, "--scale")) {
+      opt.scale = parse_unsigned(v, "--scale");
+      if (opt.scale < 1) {
+        std::fprintf(stderr, "csmt: --scale wants an integer >= 1, got 0\n");
+        std::exit(2);
+      }
+    } else if (const char* v = value_of(i, "--jobs")) {
+      opt.sweep.jobs = parse_unsigned(v, "--jobs");
+    } else if (const char* v = value_of(i, "--cache-dir")) {
+      opt.sweep.cache_dir = v;
+    } else if (const char* v = value_of(i, "--json")) {
+      opt.json_path = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale N] [--jobs N] [--cache-dir PATH] "
+                   "[--json PATH]\n"
+                   "  (env: CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, "
+                   "CSMT_JSON)\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Writes the machine-readable artifact when --json/CSMT_JSON asked for one.
+inline void export_json(const BenchOptions& opt,
+                        const std::vector<sim::ExperimentResult>& results) {
+  if (opt.json_path.empty()) return;
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "csmt: cannot write JSON artifact '%s'\n",
+                 opt.json_path.c_str());
+    return;
+  }
+  const std::string doc = sim::render_json(results);
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "csmt: wrote %s (%zu results)\n",
+               opt.json_path.c_str(), results.size());
+}
+
+/// Runs workloads x architectures on a machine with `chips` chips through
+/// the sweep runner; results come back in figure order (workload-major).
+inline std::vector<sim::ExperimentResult> run_figure_grid(
+    const BenchOptions& opt, const std::vector<std::string>& workloads,
+    const std::vector<core::ArchKind>& archs, unsigned chips) {
+  sweep::SweepSpec spec;
+  spec.workloads = workloads;
+  spec.archs = archs;
+  spec.chips = {chips};
+  spec.scales = {opt.scale};
+  sweep::SweepRunner runner(opt.sweep);
+  return runner.run(spec);
+}
+
+/// Deprecated serial-era entry point, kept for one release as a shim over
+/// SweepRunner (options from the environment only).
+[[deprecated("use bench::run_figure_grid / sweep::SweepRunner")]]
 inline std::vector<sim::ExperimentResult> run_grid(
     const std::vector<std::string>& workloads,
     const std::vector<core::ArchKind>& archs, unsigned chips,
     unsigned scale) {
-  std::vector<sim::ExperimentResult> results;
-  for (const std::string& w : workloads) {
-    for (const core::ArchKind a : archs) {
-      sim::ExperimentSpec spec;
-      spec.workload = w;
-      spec.arch = a;
-      spec.chips = chips;
-      spec.scale = scale;
-      results.push_back(sim::run_experiment(spec));
-      std::fprintf(stderr, ".");
-      std::fflush(stderr);
-    }
-  }
-  std::fprintf(stderr, "\n");
-  return results;
+  sweep::SweepSpec spec;
+  spec.workloads = workloads;
+  spec.archs = archs;
+  spec.chips = {chips};
+  spec.scales = {scale};
+  sweep::SweepRunner runner;
+  return runner.run(spec);
 }
 
 /// Standard three-part report for one figure.

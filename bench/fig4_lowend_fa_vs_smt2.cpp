@@ -4,17 +4,18 @@
 // cycles for every application (~13% below the best FA on average).
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csmt;
-  const unsigned scale = bench::scale_from_env();
-  const auto results = bench::run_grid(
-      bench::paper_workloads(),
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  const auto results = bench::run_figure_grid(
+      opt, bench::paper_workloads(),
       {core::ArchKind::kFa8, core::ArchKind::kFa4, core::ArchKind::kFa2,
        core::ArchKind::kFa1, core::ArchKind::kSmt2},
-      /*chips=*/1, scale);
+      /*chips=*/1);
   bench::print_figure(
       "Figure 4: FA vs clustered SMT, low-end machine (scale " +
-          std::to_string(scale) + ")",
+          std::to_string(opt.scale) + ")",
       results, "FA8");
+  bench::export_json(opt, results);
   return 0;
 }

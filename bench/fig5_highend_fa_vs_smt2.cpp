@@ -5,17 +5,18 @@
 // FA, and SMT2 remains the lowest and most stable.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csmt;
-  const unsigned scale = bench::scale_from_env();
-  const auto results = bench::run_grid(
-      bench::paper_workloads(),
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  const auto results = bench::run_figure_grid(
+      opt, bench::paper_workloads(),
       {core::ArchKind::kFa8, core::ArchKind::kFa4, core::ArchKind::kFa2,
        core::ArchKind::kFa1, core::ArchKind::kSmt2},
-      /*chips=*/4, scale);
+      /*chips=*/4);
   bench::print_figure(
       "Figure 5: FA vs clustered SMT, high-end machine (scale " +
-          std::to_string(scale) + ")",
+          std::to_string(opt.scale) + ")",
       results, "FA8");
+  bench::export_json(opt, results);
   return 0;
 }

@@ -23,27 +23,20 @@ struct Point {
   double ilp;
 };
 
-std::vector<Point> measure(unsigned chips, unsigned scale) {
+std::vector<Point> measure(const bench::BenchOptions& opt, unsigned chips) {
+  // One grid: workload-major over {FA8, FA1}, so results come back as
+  // (FA8, FA1) pairs per workload.
+  const auto results = bench::run_figure_grid(
+      opt, bench::paper_workloads(),
+      {core::ArchKind::kFa8, core::ArchKind::kFa1}, chips);
   std::vector<Point> points;
-  for (const std::string& w : bench::paper_workloads()) {
-    sim::ExperimentSpec fa8;
-    fa8.workload = w;
-    fa8.arch = core::ArchKind::kFa8;
-    fa8.chips = chips;
-    fa8.scale = scale;
-    const auto r8 = sim::run_experiment(fa8);
-
-    sim::ExperimentSpec fa1 = fa8;
-    fa1.arch = core::ArchKind::kFa1;
-    const auto r1 = sim::run_experiment(fa1);
-
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const sim::ExperimentResult& r8 = results[i];
+    const sim::ExperimentResult& r1 = results[i + 1];
     // Per-chip averages, as in the paper's 0..8 axes.
-    points.push_back({w, r8.stats.avg_running_threads,
+    points.push_back({r8.spec.workload, r8.stats.avg_running_threads,
                       r1.stats.useful_ipc() / chips});
-    std::fprintf(stderr, ".");
-    std::fflush(stderr);
   }
-  std::fprintf(stderr, "\n");
   return points;
 }
 
@@ -67,9 +60,10 @@ void scatter(const std::vector<Point>& points) {
   std::printf("%*s\n", kW - 1, "8  threads");
 }
 
-void report(const char* title, unsigned chips, unsigned scale) {
+void report(const char* title, unsigned chips,
+            const bench::BenchOptions& opt) {
   std::printf("== %s ==\n", title);
-  const auto points = measure(chips, scale);
+  const auto points = measure(opt, chips);
   scatter(points);
   AsciiTable t;
   t.header({"workload", "avg threads (FA8)", "ILP/thread (FA1)",
@@ -86,11 +80,11 @@ void report(const char* title, unsigned chips, unsigned scale) {
 
 }  // namespace
 
-int main() {
-  const unsigned scale = csmt::bench::scale_from_env();
+int main(int argc, char** argv) {
+  const auto opt = csmt::bench::parse_options(argc, argv);
   report("Figure 6(a): application characterization, low-end machine", 1,
-         scale);
+         opt);
   report("Figure 6(b): application characterization, high-end machine", 4,
-         scale);
+         opt);
   return 0;
 }

@@ -4,17 +4,18 @@
 // argument, see ablation_cycle_time) a much better design point.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csmt;
-  const unsigned scale = bench::scale_from_env();
-  const auto results = bench::run_grid(
-      bench::paper_workloads(),
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  const auto results = bench::run_figure_grid(
+      opt, bench::paper_workloads(),
       {core::ArchKind::kSmt8, core::ArchKind::kSmt4, core::ArchKind::kSmt2,
        core::ArchKind::kSmt1},
-      /*chips=*/4, scale);
+      /*chips=*/4);
   bench::print_figure(
       "Figure 8: clustered vs centralized SMT, high-end machine (scale " +
-          std::to_string(scale) + ")",
+          std::to_string(opt.scale) + ")",
       results, "SMT8");
+  bench::export_json(opt, results);
   return 0;
 }

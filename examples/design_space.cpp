@@ -18,21 +18,18 @@ int main(int argc, char** argv) {
   std::printf("Design-space sweep: %s, %u chip%s, scale %u\n\n",
               workload.c_str(), chips, chips > 1 ? "s" : "", scale);
 
-  std::vector<sim::ExperimentResult> results;
-  for (const core::ArchKind k :
-       {core::ArchKind::kFa8, core::ArchKind::kFa4, core::ArchKind::kFa2,
-        core::ArchKind::kFa1, core::ArchKind::kSmt4, core::ArchKind::kSmt2,
-        core::ArchKind::kSmt1}) {
-    sim::ExperimentSpec spec;
-    spec.workload = workload;
-    spec.arch = k;
-    spec.chips = chips;
-    spec.scale = scale;
-    results.push_back(sim::run_experiment(spec));
-    std::fprintf(stderr, ".");
-    std::fflush(stderr);
-  }
-  std::fprintf(stderr, "\n");
+  // One sweep over all seven Table 2 architectures; CSMT_JOBS parallelizes
+  // the points and CSMT_CACHE_DIR makes re-renders free.
+  sweep::SweepSpec grid;
+  grid.workloads = {workload};
+  grid.archs = {core::ArchKind::kFa8, core::ArchKind::kFa4,
+                core::ArchKind::kFa2, core::ArchKind::kFa1,
+                core::ArchKind::kSmt4, core::ArchKind::kSmt2,
+                core::ArchKind::kSmt1};
+  grid.chips = {chips};
+  grid.scales = {scale};
+  sweep::SweepRunner runner;
+  const std::vector<sim::ExperimentResult> results = runner.run(grid);
 
   std::printf("%s\n", sim::render_summary_table(results).c_str());
   std::printf("%s\n",

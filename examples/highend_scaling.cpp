@@ -28,20 +28,24 @@ int main(int argc, char** argv) {
   std::printf("High-end scaling: %s on %s, scale %u\n\n", workload.c_str(),
               core::arch_name(arch), scale);
 
+  // The chip-count axis as one sweep grid (CSMT_JOBS runs the three
+  // machines concurrently; CSMT_CACHE_DIR caches them).
+  sweep::SweepSpec grid;
+  grid.workloads = {workload};
+  grid.archs = {arch};
+  grid.chips = {1u, 2u, 4u};
+  grid.scales = {scale};
+  sweep::SweepRunner runner;
+  const auto results = runner.run(grid);
+
   AsciiTable t;
   t.header({"chips", "threads", "cycles", "speedup", "useful%", "sync%",
             "memory%", "remote fetches", "valid"});
-  double base = 0.0;
-  for (const unsigned chips : {1u, 2u, 4u}) {
-    sim::ExperimentSpec spec;
-    spec.workload = workload;
-    spec.arch = arch;
-    spec.chips = chips;
-    spec.scale = scale;
-    const auto r = sim::run_experiment(spec);
-    if (chips == 1) base = static_cast<double>(r.stats.cycles);
-    t.row({std::to_string(chips),
-           std::to_string(chips * core::arch_preset(arch).threads_per_chip()),
+  const double base = static_cast<double>(results.front().stats.cycles);
+  for (const auto& r : results) {
+    t.row({std::to_string(r.spec.chips),
+           std::to_string(r.spec.chips *
+                          core::arch_preset(arch).threads_per_chip()),
            format_count(r.stats.cycles),
            format_fixed(base / static_cast<double>(r.stats.cycles), 2) + "x",
            format_percent(r.stats.slots.fraction(core::Slot::kUseful)),
@@ -49,10 +53,7 @@ int main(int argc, char** argv) {
            format_percent(r.stats.slots.fraction(core::Slot::kMemory)),
            r.stats.dash ? format_count(r.stats.dash->remote_fetches) : "-",
            r.validated ? "yes" : "NO"});
-    std::fprintf(stderr, ".");
-    std::fflush(stderr);
   }
-  std::fprintf(stderr, "\n");
   std::printf("%s", t.render().c_str());
   return 0;
 }

@@ -66,4 +66,31 @@ const char* arch_name(ArchKind kind) {
   return "?";
 }
 
+std::optional<ArchKind> arch_from_name(std::string_view name) {
+  for (const ArchKind k :
+       {ArchKind::kFa8, ArchKind::kFa4, ArchKind::kFa2, ArchKind::kFa1,
+        ArchKind::kSmt4, ArchKind::kSmt2, ArchKind::kSmt1, ArchKind::kSmt8}) {
+    if (name == arch_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+const char* fetch_policy_name(FetchPolicy policy) {
+  switch (policy) {
+    case FetchPolicy::kRoundRobin: return "rr";
+    case FetchPolicy::kRoundRobinSkip: return "rr-skip";
+    case FetchPolicy::kIcount: return "icount";
+  }
+  return "?";
+}
+
+std::optional<FetchPolicy> fetch_policy_from_name(std::string_view name) {
+  for (const FetchPolicy p :
+       {FetchPolicy::kRoundRobin, FetchPolicy::kRoundRobinSkip,
+        FetchPolicy::kIcount}) {
+    if (name == fetch_policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
 }  // namespace csmt::core

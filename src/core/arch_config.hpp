@@ -4,7 +4,9 @@
 // configurations are the 1-thread-per-cluster special case.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -64,5 +66,13 @@ std::vector<ArchKind> fa_kinds();
 std::vector<ArchKind> smt_kinds();
 
 const char* arch_name(ArchKind kind);
+
+/// Inverse of arch_name(); nullopt for unknown strings. Used by the sweep
+/// result cache and CLI/JSON round-trips.
+std::optional<ArchKind> arch_from_name(std::string_view name);
+
+/// Stable names for FetchPolicy values ("rr", "rr-skip", "icount").
+const char* fetch_policy_name(FetchPolicy policy);
+std::optional<FetchPolicy> fetch_policy_from_name(std::string_view name);
 
 }  // namespace csmt::core

@@ -4,9 +4,11 @@
 // Processors" (IPPS 1998). See README.md for a tour.
 #pragma once
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "isa/builder.hpp"
 #include "isa/opcode.hpp"
@@ -27,4 +29,5 @@
 #include "sim/experiment.hpp"
 #include "sim/machine.hpp"
 #include "sim/report.hpp"
+#include "sweep/sweep.hpp"
 #include "workloads/workload.hpp"

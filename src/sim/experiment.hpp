@@ -17,6 +17,15 @@ struct ExperimentSpec {
   unsigned scale = 3;            ///< workload problem scale
   /// Optional fetch-policy override (ablation A1); default = preset policy.
   std::optional<core::FetchPolicy> fetch_policy;
+  /// Optional per-cluster window override (ablation A2): sets IQ, ROB and
+  /// both renaming-register files to this many entries.
+  std::optional<unsigned> window_size;
+  /// Optional L1 organization override (ablation A5): true = per-cluster
+  /// private L1s, false = the paper's shared L1.
+  std::optional<bool> l1_private;
+
+  /// Specs are value types; equality is what the sweep cache keys on.
+  bool operator==(const ExperimentSpec&) const = default;
 };
 
 struct ExperimentResult {

@@ -168,6 +168,7 @@ RunStats Machine::collect_stats(Cycle now, double running_accum,
     out.mem.bank_rejections += ms.bank_rejections;
     out.mem.mshr_rejections += ms.mshr_rejections;
     out.mem.upgrades += ms.upgrades;
+    out.mem.l1_cross_invalidations += ms.l1_cross_invalidations;
   }
   // Miss rates: weighted merge across chips.
   {

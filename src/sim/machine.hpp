@@ -38,6 +38,8 @@ struct MemCounters {
   std::uint64_t bank_rejections = 0;
   std::uint64_t mshr_rejections = 0;
   std::uint64_t upgrades = 0;
+  /// Write-invalidate traffic between private L1s (0 with a shared L1).
+  std::uint64_t l1_cross_invalidations = 0;
   double l1_miss_rate = 0.0;
   double l2_miss_rate = 0.0;
   double tlb_miss_rate = 0.0;

@@ -121,4 +121,187 @@ std::string render_summary_table(
   return table.render();
 }
 
+json::Value to_json(const ExperimentResult& r) {
+  json::Value spec = json::Value::object();
+  spec["workload"] = r.spec.workload;
+  spec["arch"] = core::arch_name(r.spec.arch);
+  spec["chips"] = r.spec.chips;
+  spec["scale"] = r.spec.scale;
+  if (r.spec.fetch_policy)
+    spec["fetch_policy"] = core::fetch_policy_name(*r.spec.fetch_policy);
+  if (r.spec.window_size) spec["window_size"] = *r.spec.window_size;
+  if (r.spec.l1_private) spec["l1_private"] = *r.spec.l1_private;
+
+  const RunStats& s = r.stats;
+  json::Value slots = json::Value::object();
+  for (std::size_t i = 0; i < core::kNumSlots; ++i) {
+    slots[core::slot_name(static_cast<Slot>(i))] =
+        s.slots.slots[i];
+  }
+
+  json::Value predictor = json::Value::object();
+  predictor["cond_lookups"] = s.predictor.cond_lookups;
+  predictor["cond_mispredicts"] = s.predictor.cond_mispredicts;
+  predictor["btb_misses"] = s.predictor.btb_misses;
+
+  json::Value mem = json::Value::object();
+  mem["loads"] = s.mem.loads;
+  mem["stores"] = s.mem.stores;
+  {
+    json::Value levels = json::Value::array();
+    for (const std::uint64_t v : s.mem.by_level) levels.push_back(v);
+    mem["by_level"] = std::move(levels);
+  }
+  mem["bank_rejections"] = s.mem.bank_rejections;
+  mem["mshr_rejections"] = s.mem.mshr_rejections;
+  mem["upgrades"] = s.mem.upgrades;
+  mem["l1_cross_invalidations"] = s.mem.l1_cross_invalidations;
+  mem["l1_miss_rate"] = s.mem.l1_miss_rate;
+  mem["l2_miss_rate"] = s.mem.l2_miss_rate;
+  mem["tlb_miss_rate"] = s.mem.tlb_miss_rate;
+
+  json::Value stats = json::Value::object();
+  stats["cycles"] = s.cycles;
+  stats["slots"] = std::move(slots);
+  stats["committed_useful"] = s.committed_useful;
+  stats["committed_sync"] = s.committed_sync;
+  stats["fetched"] = s.fetched;
+  stats["timed_out"] = s.timed_out;
+  stats["avg_running_threads"] = s.avg_running_threads;
+  stats["useful_ipc"] = s.useful_ipc();  // derived; re-derived on read
+  stats["predictor"] = std::move(predictor);
+  stats["mem"] = std::move(mem);
+  if (s.dash) {
+    json::Value dash = json::Value::object();
+    dash["fetches"] = s.dash->fetches;
+    dash["remote_fetches"] = s.dash->remote_fetches;
+    dash["interventions"] = s.dash->interventions;
+    dash["dirty_remote_supplies"] = s.dash->dirty_remote_supplies;
+    dash["invalidations_sent"] = s.dash->invalidations_sent;
+    dash["upgrades"] = s.dash->upgrades;
+    dash["writebacks"] = s.dash->writebacks;
+    stats["dash"] = std::move(dash);
+  }
+
+  json::Value out = json::Value::object();
+  out["spec"] = std::move(spec);
+  out["stats"] = std::move(stats);
+  out["validated"] = r.validated;
+  return out;
+}
+
+std::optional<ExperimentResult> result_from_json(const json::Value& v) {
+  const json::Value* spec = v.find("spec");
+  const json::Value* stats = v.find("stats");
+  const json::Value* validated = v.find("validated");
+  if (!spec || !stats || !validated || !spec->is_object() ||
+      !stats->is_object())
+    return std::nullopt;
+
+  ExperimentResult r;
+  const json::Value* workload = spec->find("workload");
+  const json::Value* arch = spec->find("arch");
+  if (!workload || !workload->is_string() || !arch || !arch->is_string())
+    return std::nullopt;
+  const auto kind = core::arch_from_name(arch->as_string());
+  if (!kind) return std::nullopt;
+  r.spec.workload = workload->as_string();
+  r.spec.arch = *kind;
+  if (const json::Value* c = spec->find("chips"))
+    r.spec.chips = c->as_unsigned(1);
+  if (const json::Value* s = spec->find("scale"))
+    r.spec.scale = s->as_unsigned(3);
+  if (const json::Value* f = spec->find("fetch_policy")) {
+    const auto policy = core::fetch_policy_from_name(f->as_string());
+    if (!policy) return std::nullopt;
+    r.spec.fetch_policy = *policy;
+  }
+  if (const json::Value* w = spec->find("window_size"))
+    r.spec.window_size = w->as_unsigned();
+  if (const json::Value* p = spec->find("l1_private"))
+    r.spec.l1_private = p->as_bool();
+
+  RunStats& s = r.stats;
+  const json::Value* cycles = stats->find("cycles");
+  if (!cycles || !cycles->is_number()) return std::nullopt;
+  s.cycles = cycles->as_u64();
+  if (const json::Value* slots = stats->find("slots")) {
+    for (std::size_t i = 0; i < core::kNumSlots; ++i) {
+      if (const json::Value* c =
+              slots->find(core::slot_name(static_cast<Slot>(i))))
+        s.slots.slots[i] = c->as_number();
+    }
+  }
+  if (const json::Value* c = stats->find("committed_useful"))
+    s.committed_useful = c->as_u64();
+  if (const json::Value* c = stats->find("committed_sync"))
+    s.committed_sync = c->as_u64();
+  if (const json::Value* c = stats->find("fetched")) s.fetched = c->as_u64();
+  if (const json::Value* c = stats->find("timed_out"))
+    s.timed_out = c->as_bool();
+  if (const json::Value* c = stats->find("avg_running_threads"))
+    s.avg_running_threads = c->as_number();
+  if (const json::Value* p = stats->find("predictor")) {
+    if (const json::Value* c = p->find("cond_lookups"))
+      s.predictor.cond_lookups = c->as_u64();
+    if (const json::Value* c = p->find("cond_mispredicts"))
+      s.predictor.cond_mispredicts = c->as_u64();
+    if (const json::Value* c = p->find("btb_misses"))
+      s.predictor.btb_misses = c->as_u64();
+  }
+  if (const json::Value* m = stats->find("mem")) {
+    if (const json::Value* c = m->find("loads")) s.mem.loads = c->as_u64();
+    if (const json::Value* c = m->find("stores")) s.mem.stores = c->as_u64();
+    if (const json::Value* levels = m->find("by_level")) {
+      const json::Array& items = levels->items();
+      for (std::size_t i = 0;
+           i < items.size() && i < s.mem.by_level.size(); ++i)
+        s.mem.by_level[i] = items[i].as_u64();
+    }
+    if (const json::Value* c = m->find("bank_rejections"))
+      s.mem.bank_rejections = c->as_u64();
+    if (const json::Value* c = m->find("mshr_rejections"))
+      s.mem.mshr_rejections = c->as_u64();
+    if (const json::Value* c = m->find("upgrades"))
+      s.mem.upgrades = c->as_u64();
+    if (const json::Value* c = m->find("l1_cross_invalidations"))
+      s.mem.l1_cross_invalidations = c->as_u64();
+    if (const json::Value* c = m->find("l1_miss_rate"))
+      s.mem.l1_miss_rate = c->as_number();
+    if (const json::Value* c = m->find("l2_miss_rate"))
+      s.mem.l2_miss_rate = c->as_number();
+    if (const json::Value* c = m->find("tlb_miss_rate"))
+      s.mem.tlb_miss_rate = c->as_number();
+  }
+  if (const json::Value* d = stats->find("dash")) {
+    noc::DashStats dash;
+    if (const json::Value* c = d->find("fetches")) dash.fetches = c->as_u64();
+    if (const json::Value* c = d->find("remote_fetches"))
+      dash.remote_fetches = c->as_u64();
+    if (const json::Value* c = d->find("interventions"))
+      dash.interventions = c->as_u64();
+    if (const json::Value* c = d->find("dirty_remote_supplies"))
+      dash.dirty_remote_supplies = c->as_u64();
+    if (const json::Value* c = d->find("invalidations_sent"))
+      dash.invalidations_sent = c->as_u64();
+    if (const json::Value* c = d->find("upgrades")) dash.upgrades = c->as_u64();
+    if (const json::Value* c = d->find("writebacks"))
+      dash.writebacks = c->as_u64();
+    s.dash = dash;
+  }
+
+  r.validated = validated->as_bool();
+  return r;
+}
+
+std::string render_json(const std::vector<ExperimentResult>& results) {
+  json::Value results_array = json::Value::array();
+  for (const ExperimentResult& r : results) results_array.push_back(to_json(r));
+  json::Value doc = json::Value::object();
+  doc["schema"] = "csmt-sweep-results";
+  doc["version"] = 1;
+  doc["results"] = std::move(results_array);
+  return doc.dump(2) + "\n";
+}
+
 }  // namespace csmt::sim

@@ -3,9 +3,11 @@
 // print the same rows/series the paper's Figures 4/5/7/8 report.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "sim/experiment.hpp"
 
 namespace csmt::sim {
@@ -25,5 +27,18 @@ std::string render_normalized_table(
 /// One row per run: cycles, useful IPC, hazard shares, validation status.
 std::string render_summary_table(
     const std::vector<ExperimentResult>& results);
+
+/// Full machine-readable form of one result: the spec, every RunStats
+/// counter (slot shares by name, predictor, memory, DASH when present) and
+/// the validation flag. Round-trips through result_from_json().
+json::Value to_json(const ExperimentResult& result);
+
+/// Rebuilds a result from to_json() output; nullopt when required fields
+/// are missing or malformed (the sweep cache treats that as a miss).
+std::optional<ExperimentResult> result_from_json(const json::Value& v);
+
+/// JSON document for a whole sweep: {"results": [...]}, pretty-printed —
+/// the durable artifact written next to the text tables.
+std::string render_json(const std::vector<ExperimentResult>& results);
 
 }  // namespace csmt::sim

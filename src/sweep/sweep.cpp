@@ -1,0 +1,213 @@
+#include "sweep/sweep.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/thread_pool.hpp"
+#include "sim/report.hpp"
+
+namespace csmt::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Bump when the result schema or any timing-relevant default changes, so
+/// stale cache entries stop matching.
+constexpr const char* kCacheKeyVersion = "csmt-sweep-v1";
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Canonical text encoding of a point. Includes the resolved Table 2
+/// preset (not just the ArchKind name) so edits to arch_preset() change
+/// the key.
+std::string canonical_encoding(const sim::ExperimentSpec& spec) {
+  const core::ArchConfig arch = core::arch_preset(spec.arch);
+  const core::ClusterConfig& cl = arch.cluster;
+  std::ostringstream out;
+  out << kCacheKeyVersion << '|' << spec.workload << '|'
+      << core::arch_name(spec.arch) << '|' << spec.chips << '|' << spec.scale
+      << "|fp=";
+  if (spec.fetch_policy) out << core::fetch_policy_name(*spec.fetch_policy);
+  out << "|ws=";
+  if (spec.window_size) out << *spec.window_size;
+  out << "|l1p=";
+  if (spec.l1_private) out << (*spec.l1_private ? 1 : 0);
+  out << "|preset=" << arch.clusters << ',' << cl.width << ',' << cl.threads
+      << ',' << cl.int_units << ',' << cl.ldst_units << ',' << cl.fp_units
+      << ',' << cl.iq_entries << ',' << cl.rob_entries << ',' << cl.int_rename
+      << ',' << cl.fp_rename << ',' << cl.sync_wake_latency << ','
+      << static_cast<int>(arch.fetch_policy);
+  return out.str();
+}
+
+unsigned jobs_from_env() {
+  const char* s = std::getenv("CSMT_JOBS");
+  if (!s || !*s) return 1;
+  unsigned v = 0;
+  const char* end = s + std::strlen(s);
+  const auto [p, ec] = std::from_chars(s, end, v);
+  if (ec != std::errc() || p != end) {
+    std::fprintf(stderr,
+                 "csmt: ignoring non-numeric CSMT_JOBS='%s' (want a worker "
+                 "count, 0 = all hardware threads)\n",
+                 s);
+    return 1;
+  }
+  return v ? v : ThreadPool::hardware_default();
+}
+
+}  // namespace
+
+std::vector<sim::ExperimentSpec> SweepSpec::expand() const {
+  std::vector<sim::ExperimentSpec> points;
+  points.reserve(workloads.size() * archs.size() * chips.size() *
+                 scales.size());
+  for (const std::string& w : workloads) {
+    for (const core::ArchKind a : archs) {
+      for (const unsigned c : chips) {
+        for (const unsigned s : scales) {
+          sim::ExperimentSpec spec;
+          spec.workload = w;
+          spec.arch = a;
+          spec.chips = c;
+          spec.scale = s;
+          spec.fetch_policy = fetch_policy;
+          spec.window_size = window_size;
+          spec.l1_private = l1_private;
+          points.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+SweepOptions SweepOptions::from_env() {
+  SweepOptions options;
+  options.jobs = jobs_from_env();
+  if (const char* dir = std::getenv("CSMT_CACHE_DIR")) {
+    options.cache_dir = dir;
+  }
+  return options;
+}
+
+std::uint64_t spec_hash(const sim::ExperimentSpec& spec) {
+  return fnv1a(canonical_encoding(spec));
+}
+
+std::string cache_entry_name(const sim::ExperimentSpec& spec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "csmt-%016llx.json",
+                static_cast<unsigned long long>(spec_hash(spec)));
+  return buf;
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {
+  if (options_.jobs == 0) options_.jobs = ThreadPool::hardware_default();
+  if (!options_.cache_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options_.cache_dir, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "csmt: cannot create cache dir '%s' (%s); caching off\n",
+                   options_.cache_dir.c_str(), ec.message().c_str());
+      options_.cache_dir.clear();
+    }
+  }
+}
+
+std::vector<sim::ExperimentResult> SweepRunner::run(const SweepSpec& spec) {
+  return run(spec.expand());
+}
+
+std::vector<sim::ExperimentResult> SweepRunner::run(
+    const std::vector<sim::ExperimentSpec>& points) {
+  std::vector<sim::ExperimentResult> results(points.size());
+
+  // Cache probes are serial (they are file reads, not simulations); only
+  // the misses go to the pool. Each worker writes results[i], so ordering
+  // and bit-identity are independent of scheduling.
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (auto cached = cache_load(points[i])) {
+      results[i] = std::move(*cached);
+      ++counters_.cache_hits;
+      if (options_.progress) {
+        std::fputc('+', stderr);
+        std::fflush(stderr);
+      }
+    } else {
+      misses.push_back(i);
+    }
+  }
+
+  if (!misses.empty()) {
+    ThreadPool pool(std::min<std::size_t>(options_.jobs, misses.size()));
+    for (const std::size_t i : misses) {
+      pool.submit([this, i, &points, &results] {
+        results[i] = sim::run_experiment(points[i]);
+        cache_store(results[i]);
+        if (options_.progress) {
+          std::fputc('.', stderr);
+          std::fflush(stderr);
+        }
+      });
+    }
+    pool.wait_idle();
+    counters_.executed += misses.size();
+  }
+
+  if (options_.progress && !points.empty()) {
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+  }
+  return results;
+}
+
+std::optional<sim::ExperimentResult> SweepRunner::cache_load(
+    const sim::ExperimentSpec& spec) const {
+  if (options_.cache_dir.empty()) return std::nullopt;
+  const fs::path path = fs::path(options_.cache_dir) / cache_entry_name(spec);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto doc = json::Value::parse(text.str());
+  if (!doc) return std::nullopt;
+  auto result = sim::result_from_json(*doc);
+  // A hash collision or hand-edited entry for a different point must not
+  // masquerade as this one.
+  if (result && !(result->spec == spec)) return std::nullopt;
+  return result;
+}
+
+void SweepRunner::cache_store(const sim::ExperimentResult& result) const {
+  if (options_.cache_dir.empty()) return;
+  const fs::path path =
+      fs::path(options_.cache_dir) / cache_entry_name(result.spec);
+  // Write-then-rename so concurrent workers (or concurrent benches sharing
+  // a cache) never observe a torn entry.
+  const fs::path tmp = path.string() + ".tmp." +
+                       std::to_string(spec_hash(result.spec) & 0xffff);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << sim::to_json(result).dump(2) << '\n';
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+}  // namespace csmt::sweep

@@ -1,0 +1,94 @@
+// The batch experiment API: every figure/table of the paper reproduction is
+// a grid of independent (workload, architecture, machine) points, so this
+// subsystem runs whole grids instead of single experiments — on a worker
+// pool (each point owns its Machine and functional memory, making points
+// embarrassingly parallel), with deterministic result ordering, an on-disk
+// result cache keyed by a stable spec hash, and JSON artifacts via
+// sim::render_json. Replaces the serial bench::run_grid loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "sim/experiment.hpp"
+
+namespace csmt::sweep {
+
+/// A cartesian grid of experiment points: workloads x archs x chips x
+/// scales, expanded workload-major (the order the paper's figures group
+/// bars in), with grid-wide overrides applied to every point.
+struct SweepSpec {
+  std::vector<std::string> workloads;
+  std::vector<core::ArchKind> archs;
+  std::vector<unsigned> chips = {1};
+  std::vector<unsigned> scales = {3};
+  /// Overrides stamped onto every expanded point (ablation knobs).
+  std::optional<core::FetchPolicy> fetch_policy;
+  std::optional<unsigned> window_size;
+  std::optional<bool> l1_private;
+
+  /// Expansion order: workload-major, then arch, then chips, then scale —
+  /// identical to the nesting of the old per-bench loops.
+  std::vector<sim::ExperimentSpec> expand() const;
+};
+
+struct SweepOptions {
+  /// Worker threads. 1 = serial (the default); 0 = one per hardware thread.
+  unsigned jobs = 1;
+  /// Result-cache directory; empty disables caching.
+  std::string cache_dir;
+  /// Progress marks on stderr: '.' = simulated, '+' = cache hit.
+  bool progress = true;
+
+  /// Environment defaults: CSMT_JOBS (count, or 0 for hardware width) and
+  /// CSMT_CACHE_DIR (directory path). Malformed values warn and are
+  /// ignored.
+  static SweepOptions from_env();
+};
+
+/// Tally of how a run's points were satisfied.
+struct SweepCounters {
+  std::uint64_t executed = 0;    ///< points actually simulated
+  std::uint64_t cache_hits = 0;  ///< points served from the result cache
+};
+
+/// Stable 64-bit key of an experiment point: FNV-1a over a canonical
+/// encoding of the spec *and* the resolved Table 2 preset, salted with the
+/// cache schema version — so editing a preset or the result schema
+/// invalidates stale cache entries, while rebuilding the binary does not.
+std::uint64_t spec_hash(const sim::ExperimentSpec& spec);
+
+/// File name ("csmt-<16 hex digits>.json") of a point's cache entry.
+std::string cache_entry_name(const sim::ExperimentSpec& spec);
+
+class SweepRunner {
+ public:
+  /// Options from the environment (CSMT_JOBS, CSMT_CACHE_DIR).
+  SweepRunner() : SweepRunner(SweepOptions::from_env()) {}
+  explicit SweepRunner(SweepOptions options);
+
+  /// Runs every point of the grid; results arrive in expand() order
+  /// regardless of jobs, and are bit-identical to a serial run.
+  std::vector<sim::ExperimentResult> run(const SweepSpec& spec);
+
+  /// Runs an explicit point list (for non-cartesian sweeps such as the
+  /// window-size ablation); results arrive in `points` order.
+  std::vector<sim::ExperimentResult> run(
+      const std::vector<sim::ExperimentSpec>& points);
+
+  const SweepOptions& options() const { return options_; }
+  const SweepCounters& counters() const { return counters_; }
+
+ private:
+  std::optional<sim::ExperimentResult> cache_load(
+      const sim::ExperimentSpec& spec) const;
+  void cache_store(const sim::ExperimentResult& result) const;
+
+  SweepOptions options_;
+  SweepCounters counters_;
+};
+
+}  // namespace csmt::sweep

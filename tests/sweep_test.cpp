@@ -1,0 +1,222 @@
+// Tests for the sweep subsystem: grid expansion, parallel determinism
+// (jobs=1 and jobs=4 must be bit-identical) and the on-disk result cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/report.hpp"
+#include "sweep/sweep.hpp"
+
+namespace csmt::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+SweepSpec small_grid() {
+  SweepSpec spec;
+  spec.workloads = {"swim", "tomcatv"};
+  spec.archs = {core::ArchKind::kFa2, core::ArchKind::kSmt2};
+  spec.chips = {1};
+  spec.scales = {1};
+  return spec;
+}
+
+SweepOptions quiet(unsigned jobs, std::string cache_dir = {}) {
+  SweepOptions options;
+  options.jobs = jobs;
+  options.cache_dir = std::move(cache_dir);
+  options.progress = false;
+  return options;
+}
+
+/// Bit-exact RunStats comparison (doubles compared with ==, deliberately:
+/// the determinism guarantee is bit-identity, not approximate equality).
+void expect_identical(const sim::ExperimentResult& a,
+                      const sim::ExperimentResult& b) {
+  EXPECT_EQ(a.spec, b.spec);
+  EXPECT_EQ(a.validated, b.validated);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.committed_useful, b.stats.committed_useful);
+  EXPECT_EQ(a.stats.committed_sync, b.stats.committed_sync);
+  EXPECT_EQ(a.stats.fetched, b.stats.fetched);
+  EXPECT_EQ(a.stats.timed_out, b.stats.timed_out);
+  EXPECT_EQ(a.stats.avg_running_threads, b.stats.avg_running_threads);
+  for (std::size_t i = 0; i < core::kNumSlots; ++i) {
+    EXPECT_EQ(a.stats.slots.slots[i], b.stats.slots.slots[i]) << "slot " << i;
+  }
+  EXPECT_EQ(a.stats.predictor.cond_lookups, b.stats.predictor.cond_lookups);
+  EXPECT_EQ(a.stats.predictor.cond_mispredicts,
+            b.stats.predictor.cond_mispredicts);
+  EXPECT_EQ(a.stats.predictor.btb_misses, b.stats.predictor.btb_misses);
+  EXPECT_EQ(a.stats.mem.loads, b.stats.mem.loads);
+  EXPECT_EQ(a.stats.mem.stores, b.stats.mem.stores);
+  EXPECT_EQ(a.stats.mem.by_level, b.stats.mem.by_level);
+  EXPECT_EQ(a.stats.mem.bank_rejections, b.stats.mem.bank_rejections);
+  EXPECT_EQ(a.stats.mem.mshr_rejections, b.stats.mem.mshr_rejections);
+  EXPECT_EQ(a.stats.mem.upgrades, b.stats.mem.upgrades);
+  EXPECT_EQ(a.stats.mem.l1_miss_rate, b.stats.mem.l1_miss_rate);
+  EXPECT_EQ(a.stats.mem.l2_miss_rate, b.stats.mem.l2_miss_rate);
+  EXPECT_EQ(a.stats.mem.tlb_miss_rate, b.stats.mem.tlb_miss_rate);
+  EXPECT_EQ(a.stats.dash.has_value(), b.stats.dash.has_value());
+}
+
+/// Unique scratch dir per test invocation (pid-based; tests run in their
+/// own binary so this does not collide under parallel ctest).
+fs::path scratch_dir(const std::string& name) {
+  return fs::temp_directory_path() /
+         ("csmt_" + name + "_" + std::to_string(::getpid()));
+}
+
+TEST(SweepSpec, ExpandsWorkloadMajor) {
+  SweepSpec spec = small_grid();
+  spec.chips = {1, 4};
+  spec.fetch_policy = core::FetchPolicy::kIcount;
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 2u * 2u * 2u);
+  // Workload-major, then arch, then chips.
+  EXPECT_EQ(points[0].workload, "swim");
+  EXPECT_EQ(points[0].arch, core::ArchKind::kFa2);
+  EXPECT_EQ(points[0].chips, 1u);
+  EXPECT_EQ(points[1].chips, 4u);
+  EXPECT_EQ(points[2].arch, core::ArchKind::kSmt2);
+  EXPECT_EQ(points[4].workload, "tomcatv");
+  for (const auto& p : points) {
+    EXPECT_EQ(p.fetch_policy, core::FetchPolicy::kIcount);
+    EXPECT_EQ(p.scale, 1u);
+  }
+}
+
+TEST(SweepRunner, ParallelIsBitIdenticalToSerial) {
+  SweepRunner serial(quiet(1));
+  SweepRunner parallel(quiet(4));
+  const auto a = serial.run(small_grid());
+  const auto b = parallel.run(small_grid());
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(serial.counters().executed, 4u);
+  EXPECT_EQ(parallel.counters().executed, 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+  // Sanity: the simulation actually ran and validated.
+  for (const auto& r : a) {
+    EXPECT_GT(r.stats.cycles, 0u);
+    EXPECT_TRUE(r.validated);
+  }
+}
+
+TEST(SweepRunner, CacheHitSkipsSimulation) {
+  const fs::path dir = scratch_dir("sweep_cache");
+  fs::remove_all(dir);
+
+  SweepRunner first(quiet(2, dir.string()));
+  const auto a = first.run(small_grid());
+  EXPECT_EQ(first.counters().executed, 4u);
+  EXPECT_EQ(first.counters().cache_hits, 0u);
+
+  SweepRunner second(quiet(2, dir.string()));
+  const auto b = second.run(small_grid());
+  EXPECT_EQ(second.counters().executed, 0u);
+  EXPECT_EQ(second.counters().cache_hits, 4u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+
+  fs::remove_all(dir);
+}
+
+TEST(SweepRunner, CachedResultIsReturnedWithoutRerun) {
+  // Tamper with a cached entry; the runner must hand back the tampered
+  // value — direct proof the simulation was not re-run.
+  const fs::path dir = scratch_dir("sweep_tamper");
+  fs::remove_all(dir);
+
+  SweepSpec grid = small_grid();
+  grid.workloads = {"swim"};
+  grid.archs = {core::ArchKind::kSmt2};
+  SweepRunner first(quiet(1, dir.string()));
+  const auto a = first.run(grid);
+  ASSERT_EQ(a.size(), 1u);
+
+  const fs::path entry = dir / cache_entry_name(a[0].spec);
+  ASSERT_TRUE(fs::exists(entry));
+  std::ostringstream text;
+  {
+    std::ifstream in(entry);
+    text << in.rdbuf();
+  }
+  auto doc = json::Value::parse(text.str());
+  ASSERT_TRUE(doc.has_value());
+  const std::uint64_t tampered = a[0].stats.cycles + 777;
+  (*doc)["stats"]["cycles"] = tampered;
+  {
+    std::ofstream out(entry, std::ios::trunc);
+    out << doc->dump(2);
+  }
+
+  SweepRunner second(quiet(1, dir.string()));
+  const auto b = second.run(grid);
+  EXPECT_EQ(second.counters().cache_hits, 1u);
+  EXPECT_EQ(second.counters().executed, 0u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].stats.cycles, tampered);
+
+  fs::remove_all(dir);
+}
+
+TEST(SweepRunner, CorruptCacheEntryFallsBackToSimulation) {
+  const fs::path dir = scratch_dir("sweep_corrupt");
+  fs::remove_all(dir);
+
+  SweepSpec grid = small_grid();
+  grid.workloads = {"swim"};
+  grid.archs = {core::ArchKind::kFa2};
+  const auto points = grid.expand();
+  ASSERT_EQ(points.size(), 1u);
+
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir / cache_entry_name(points[0]));
+    out << "{ not json";
+  }
+  SweepRunner runner(quiet(1, dir.string()));
+  const auto results = runner.run(grid);
+  EXPECT_EQ(runner.counters().executed, 1u);
+  EXPECT_EQ(runner.counters().cache_hits, 0u);
+  EXPECT_GT(results[0].stats.cycles, 0u);
+
+  fs::remove_all(dir);
+}
+
+TEST(SweepHash, DistinguishesEveryAxis) {
+  sim::ExperimentSpec base;
+  base.workload = "swim";
+  base.arch = core::ArchKind::kSmt2;
+  base.chips = 1;
+  base.scale = 1;
+
+  auto hash_of = [](sim::ExperimentSpec s) { return spec_hash(s); };
+  const std::uint64_t h = hash_of(base);
+
+  sim::ExperimentSpec w = base;
+  w.workload = "ocean";
+  sim::ExperimentSpec a = base;
+  a.arch = core::ArchKind::kFa2;
+  sim::ExperimentSpec c = base;
+  c.chips = 4;
+  sim::ExperimentSpec s = base;
+  s.scale = 2;
+  sim::ExperimentSpec f = base;
+  f.fetch_policy = core::FetchPolicy::kIcount;
+  sim::ExperimentSpec ws = base;
+  ws.window_size = 32;
+  sim::ExperimentSpec l1 = base;
+  l1.l1_private = true;
+  for (const auto& other : {w, a, c, s, f, ws, l1}) {
+    EXPECT_NE(spec_hash(other), h);
+  }
+  // And the hash is stable for equal specs.
+  EXPECT_EQ(hash_of(base), h);
+}
+
+}  // namespace
+}  // namespace csmt::sweep

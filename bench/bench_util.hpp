@@ -43,19 +43,51 @@ inline unsigned scale_from_env(unsigned fallback = 4) {
 struct BenchOptions {
   unsigned scale = 4;
   sweep::SweepOptions sweep;
-  std::string json_path;  ///< empty = no JSON artifact
+  std::string json_path;   ///< empty = no JSON artifact
+  std::string trace_path;  ///< empty = no Chrome trace (see trace_path_for)
+  Cycle metrics_interval = 0;  ///< epoch length in cycles; 0 = no epochs
 };
 
-/// Environment defaults (CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, CSMT_JSON)
-/// overridden by flags: --scale N, --jobs N, --cache-dir PATH, --json PATH
-/// (both "--flag value" and "--flag=value" forms). Unknown arguments abort
-/// with a usage message so typos don't silently run the wrong experiment.
+/// Trace output path for point `index` of an `n`-point grid: the configured
+/// path verbatim for a single point; with multiple points, ".p<index>" is
+/// inserted before the extension ("trace.json" -> "trace.p3.json") so
+/// parallel points never share a file.
+inline std::string trace_path_for(const BenchOptions& opt, std::size_t index,
+                                  std::size_t n) {
+  if (opt.trace_path.empty()) return {};
+  if (n <= 1) return opt.trace_path;
+  const std::size_t dot = opt.trace_path.rfind('.');
+  const std::string tag = ".p" + std::to_string(index);
+  if (dot == std::string::npos || dot == 0) return opt.trace_path + tag;
+  return opt.trace_path.substr(0, dot) + tag + opt.trace_path.substr(dot);
+}
+
+/// Environment defaults (CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, CSMT_JSON,
+/// CSMT_TRACE, CSMT_METRICS_INTERVAL) overridden by flags: --scale N,
+/// --jobs N, --cache-dir PATH, --json PATH, --trace PATH,
+/// --metrics-interval N (both "--flag value" and "--flag=value" forms).
+/// Unknown arguments abort with a usage message so typos don't silently run
+/// the wrong experiment.
 inline BenchOptions parse_options(int argc, char** argv,
                                   unsigned default_scale = 4) {
   BenchOptions opt;
   opt.scale = scale_from_env(default_scale);
   opt.sweep = sweep::SweepOptions::from_env();
   if (const char* path = std::getenv("CSMT_JSON")) opt.json_path = path;
+  if (const char* path = std::getenv("CSMT_TRACE")) opt.trace_path = path;
+  if (const char* s = std::getenv("CSMT_METRICS_INTERVAL")) {
+    Cycle v = 0;
+    const char* end = s + std::strlen(s);
+    const auto [p, ec] = std::from_chars(s, end, v);
+    if (ec == std::errc() && p == end) {
+      opt.metrics_interval = v;
+    } else {
+      std::fprintf(stderr,
+                   "csmt: ignoring invalid CSMT_METRICS_INTERVAL='%s' (want "
+                   "a cycle count, 0 = off)\n",
+                   s);
+    }
+  }
 
   auto value_of = [&](int& i, const char* flag) -> const char* {
     const std::size_t n = std::strlen(flag);
@@ -88,12 +120,16 @@ inline BenchOptions parse_options(int argc, char** argv,
       opt.sweep.cache_dir = v;
     } else if (const char* v = value_of(i, "--json")) {
       opt.json_path = v;
+    } else if (const char* v = value_of(i, "--trace")) {
+      opt.trace_path = v;
+    } else if (const char* v = value_of(i, "--metrics-interval")) {
+      opt.metrics_interval = parse_unsigned(v, "--metrics-interval");
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale N] [--jobs N] [--cache-dir PATH] "
-                   "[--json PATH]\n"
+                   "[--json PATH] [--trace PATH] [--metrics-interval N]\n"
                    "  (env: CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, "
-                   "CSMT_JSON)\n",
+                   "CSMT_JSON, CSMT_TRACE, CSMT_METRICS_INTERVAL)\n",
                    argv[0]);
       std::exit(2);
     }
@@ -120,6 +156,9 @@ inline void export_json(const BenchOptions& opt,
 
 /// Runs workloads x architectures on a machine with `chips` chips through
 /// the sweep runner; results come back in figure order (workload-major).
+/// Tracing (--trace / CSMT_TRACE) stamps a per-point trace path on every
+/// expanded point (see trace_path_for); traced points bypass the result
+/// cache so the trace file is actually produced.
 inline std::vector<sim::ExperimentResult> run_figure_grid(
     const BenchOptions& opt, const std::vector<std::string>& workloads,
     const std::vector<core::ArchKind>& archs, unsigned chips) {
@@ -128,8 +167,14 @@ inline std::vector<sim::ExperimentResult> run_figure_grid(
   spec.archs = archs;
   spec.chips = {chips};
   spec.scales = {opt.scale};
+  spec.metrics_interval = opt.metrics_interval;
   sweep::SweepRunner runner(opt.sweep);
-  return runner.run(spec);
+  if (opt.trace_path.empty()) return runner.run(spec);
+  std::vector<sim::ExperimentSpec> points = spec.expand();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].trace_path = trace_path_for(opt, i, points.size());
+  }
+  return runner.run(points);
 }
 
 /// Deprecated serial-era entry point, kept for one release as a shim over

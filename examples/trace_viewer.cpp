@@ -1,0 +1,61 @@
+// Trace viewer companion: run one experiment with full observability on —
+// Chrome trace events, interval metrics, and phase profiling — then print
+// where to look.
+//
+//   ./trace_viewer [workload] [arch] [chips] [trace.json]
+//
+// Defaults: ocean on SMT2, one chip, trace written to csmt_trace.json.
+// Load the trace at https://ui.perfetto.dev (or chrome://tracing): each
+// chip is a process with per-cluster pipeline tracks, a memsys track, and
+// one track per thread showing run/spin/halt slices; sync events live on
+// their own process, DASH directory traffic on another.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "csmt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csmt;
+
+  sim::ExperimentSpec spec;
+  spec.workload = argc > 1 ? argv[1] : "ocean";
+  spec.arch = core::ArchKind::kSmt2;
+  if (argc > 2) {
+    for (const core::ArchKind k :
+         {core::ArchKind::kFa8, core::ArchKind::kFa4, core::ArchKind::kFa2,
+          core::ArchKind::kFa1, core::ArchKind::kSmt4, core::ArchKind::kSmt2,
+          core::ArchKind::kSmt1}) {
+      if (std::strcmp(core::arch_name(k), argv[2]) == 0) spec.arch = k;
+    }
+  }
+  spec.chips = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1;
+  spec.scale = 2;
+  spec.trace_path = argc > 4 ? argv[4] : "csmt_trace.json";
+  spec.metrics_interval = 2000;
+  spec.profile_phases = true;
+
+  std::printf("Tracing %s on %s (%u chip%s) -> %s ...\n",
+              spec.workload.c_str(), core::arch_name(spec.arch), spec.chips,
+              spec.chips > 1 ? "s" : "", spec.trace_path.c_str());
+  const sim::ExperimentResult r = sim::run_experiment(spec);
+
+  std::printf("\n%s\n", sim::render_summary_table({r}).c_str());
+  std::printf("%s", sim::render_epoch_sparklines({r}).c_str());
+  std::printf("\nSim speed: %s\n", r.sim_speed.summary().c_str());
+  if (r.sim_speed.phases_measured) {
+    std::printf("Phase breakdown (self time):\n");
+    for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+      std::printf("  %-8s %.3fs\n",
+                  obs::phase_name(static_cast<obs::Phase>(p)),
+                  r.sim_speed.phase_seconds[p]);
+    }
+  }
+  std::printf(
+      "\nOpen %s in https://ui.perfetto.dev to browse per-cluster\n"
+      "pipeline activity, per-thread run/spin/halt slices, memory-system\n"
+      "misses, sync events, and DASH directory traffic on a shared "
+      "timeline.\n",
+      spec.trace_path.c_str());
+  return r.validated ? 0 : 1;
+}

@@ -70,10 +70,14 @@ void MemSys::cross_invalidate(unsigned port, Addr line_addr) {
 
 AccessResult MemSys::access(Addr addr, Cycle arrival, bool is_store,
                             bool is_atomic, unsigned port) {
+  obs::ScopedPhase phase(prof_, obs::Phase::kMemory);
   CacheArray& l1 = l1s_[port % l1s_.size()];
   std::vector<Cycle>& l1_busy = l1_bank_busy_[port % l1s_.size()];
   Cycle t = arrival;
-  if (!tlb_.access(addr)) t += params_.tlb_miss_penalty;
+  if (!tlb_.access(addr)) {
+    t += params_.tlb_miss_penalty;
+    if (trace_) trace_->instant(track_, "tlb_miss", arrival);
+  }
   const Addr line = l1.line_addr_of(addr);
   // Write-invalidate between private L1s: a store removes every other
   // cluster's copy (their next access refetches through the shared L2).
@@ -88,11 +92,13 @@ AccessResult MemSys::access(Addr addr, Cycle arrival, bool is_store,
   };
   auto reject_bank = [&] {
     ++stats_.bank_rejections;
+    if (trace_) trace_->instant(track_, "bank_reject", arrival);
     return AccessResult{false, 0, ServiceLevel::kL1, RejectReason::kBankBusy};
   };
   auto reject_mshr = [&] {
     ++stats_.mshr_rejections;
     mshr_.note_full_rejection();
+    if (trace_) trace_->instant(track_, "mshr_reject", arrival);
     return AccessResult{false, 0, ServiceLevel::kL1, RejectReason::kMshrFull};
   };
 
@@ -154,6 +160,7 @@ AccessResult MemSys::access(Addr addr, Cycle arrival, bool is_store,
 
   // L1 miss: everything below needs an MSHR. The fill's bank occupancy is
   // charged at request time (approximation: one busy-until per bank).
+  if (trace_) trace_->instant(track_, "l1_miss", arrival);
   if (mshr_.full()) return reject_mshr();
   l1_busy[b1] = t1 + params_.l1.fill_time;
 
@@ -194,6 +201,7 @@ AccessResult MemSys::access(Addr addr, Cycle arrival, bool is_store,
 
   // L2 miss: fetch from memory / the coherent interconnect. The L2 fill's
   // bank occupancy is likewise charged at request time.
+  if (trace_) trace_->instant(track_, "l2_miss", arrival);
   l2_bank_busy_[b2] = t2 + params_.l2.fill_time;
   const MemoryBackend::FetchResult res =
       backend_.fetch_line(chip_, line, want_excl, t_request);

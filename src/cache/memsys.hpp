@@ -22,6 +22,8 @@
 #include "cache/params.hpp"
 #include "cache/tlb.hpp"
 #include "common/types.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace csmt::cache {
 
@@ -96,6 +98,15 @@ class MemSys {
   /// True if the chip's L2 currently holds the line (directory sanity checks).
   bool holds_line(Addr line_addr) { return l2_.probe(line_addr) != nullptr; }
 
+  /// Attaches observability hooks (nullptr = off). Miss/rejection events
+  /// land on the chip's memsys track; host time is charged to Phase::kMemory.
+  void set_obs(obs::TraceSink* trace, obs::PhaseProfiler* prof) {
+    trace_ = trace;
+    prof_ = prof;
+    track_ = {obs::kChipPidBase + chip_, obs::kMemsysTid};
+    if (trace_) trace_->name_track(track_, "memsys");
+  }
+
   const MemSysStats& stats() const { return stats_; }
   /// Aggregated over all L1s (one with the paper's shared configuration).
   CacheArrayStats l1_stats() const;
@@ -123,6 +134,9 @@ class MemSys {
   std::vector<std::vector<Cycle>> l1_bank_busy_;  ///< per L1, per bank
   std::vector<Cycle> l2_bank_busy_;
   MemSysStats stats_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::PhaseProfiler* prof_ = nullptr;
+  obs::Track track_;
 };
 
 }  // namespace csmt::cache

@@ -44,10 +44,11 @@ class RunningStat {
 };
 
 /// Fixed-bucket histogram over [0, buckets); out-of-range samples clamp to
-/// the last bucket.
+/// the last bucket. A zero-bucket histogram is clamped to one bucket, so
+/// add()'s clamp arithmetic (`counts_.size() - 1`) never underflows.
 class Histogram {
  public:
-  explicit Histogram(std::size_t buckets) : counts_(buckets, 0) {}
+  explicit Histogram(std::size_t buckets) : counts_(buckets ? buckets : 1, 0) {}
 
   void add(std::size_t bucket, std::uint64_t weight = 1) {
     if (bucket >= counts_.size()) bucket = counts_.size() - 1;

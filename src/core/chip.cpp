@@ -6,16 +6,25 @@ namespace csmt::core {
 
 Chip::Chip(ChipId id, const ArchConfig& cfg,
            const cache::MemSysParams& mem_params,
-           cache::MemoryBackend& backend)
+           cache::MemoryBackend& backend, obs::TraceSink* trace,
+           obs::PhaseProfiler* prof)
     : id_(id),
       cfg_(cfg),
       memsys_(id, mem_params, backend,
               mem_params.l1_private ? cfg.clusters : 1) {
+  const std::uint32_t pid = obs::kChipPidBase + id;
+  if (trace) trace->name_process(pid, "chip " + std::to_string(id));
+  memsys_.set_obs(trace, prof);
   clusters_.reserve(cfg.clusters);
   for (unsigned c = 0; c < cfg.clusters; ++c) {
     clusters_.push_back(std::make_unique<Cluster>(
-        static_cast<ClusterId>(c), cfg.cluster, cfg.fetch_policy, memsys_));
+        static_cast<ClusterId>(c), cfg.cluster, cfg.fetch_policy, memsys_,
+        trace, prof, pid));
   }
+}
+
+void Chip::trace_flush(Cycle end) {
+  for (auto& cl : clusters_) cl->trace_flush(end);
 }
 
 void Chip::attach_thread(exec::ThreadContext* tc) {

@@ -23,8 +23,11 @@ struct ChipStats {
 
 class Chip {
  public:
+  /// `trace`/`prof` attach observability hooks (nullptr = off); they are
+  /// forwarded to the chip's MemSys and Clusters.
   Chip(ChipId id, const ArchConfig& cfg, const cache::MemSysParams& mem_params,
-       cache::MemoryBackend& backend);
+       cache::MemoryBackend& backend, obs::TraceSink* trace = nullptr,
+       obs::PhaseProfiler* prof = nullptr);
 
   /// Binds a thread to the next cluster with a free hardware context.
   /// Threads are block-assigned: contexts of cluster 0 fill first.
@@ -50,6 +53,9 @@ class Chip {
 
   /// Aggregates per-cluster statistics.
   ChipStats stats() const;
+
+  /// Closes open per-thread trace slices at end of run (tracing only).
+  void trace_flush(Cycle end);
 
  private:
   ChipId id_;

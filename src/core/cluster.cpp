@@ -5,10 +5,34 @@
 #include "common/assert.hpp"
 
 namespace csmt::core {
+namespace {
+
+/// Thread states for the per-thread trace tracks. kHalt is terminal: a
+/// halted thread's track goes quiet instead of carrying an endless slice.
+enum ThreadState : std::uint8_t { kRun = 0, kSyncWait, kStall, kHalt };
+
+const char* thread_state_name(std::uint8_t s) {
+  switch (s) {
+    case kRun: return "run";
+    case kSyncWait: return "sync";
+    case kStall: return "stall";
+    default: return "halt";
+  }
+}
+
+}  // namespace
 
 Cluster::Cluster(ClusterId id, const ClusterConfig& cfg, FetchPolicy policy,
-                 cache::MemSys& memsys)
-    : id_(id), cfg_(cfg), policy_(policy), memsys_(memsys), predictor_() {
+                 cache::MemSys& memsys, obs::TraceSink* trace,
+                 obs::PhaseProfiler* prof, std::uint32_t trace_pid)
+    : id_(id),
+      cfg_(cfg),
+      policy_(policy),
+      memsys_(memsys),
+      predictor_(),
+      trace_(trace),
+      prof_(prof),
+      track_{trace_pid, id} {
   CSMT_ASSERT(cfg.width > 0 && cfg.threads > 0 && cfg.rob_entries > 0);
   CSMT_ASSERT_MSG(cfg.rob_entries < kNoUop, "ROB too large for slot indices");
   slots_.resize(cfg.rob_entries);
@@ -16,6 +40,9 @@ Cluster::Cluster(ClusterId id, const ClusterConfig& cfg, FetchPolicy policy,
   for (std::uint16_t i = cfg.rob_entries; i-- > 0;) free_slots_.push_back(i);
   iq_.reserve(cfg.iq_entries);
   threads_.reserve(cfg.threads);
+  if (trace_) {
+    trace_->name_track(track_, "cluster " + std::to_string(id_) + " pipeline");
+  }
 }
 
 void Cluster::attach_thread(exec::ThreadContext* tc) {
@@ -24,6 +51,11 @@ void Cluster::attach_thread(exec::ThreadContext* tc) {
                   "cluster hardware contexts exhausted");
   ThreadSlot slot;
   slot.tc = tc;
+  if (trace_) {
+    slot.obs_track = {track_.pid, obs::kThreadTidBase + tc->tid()};
+    trace_->name_track(slot.obs_track,
+                       "thread " + std::to_string(tc->tid()));
+  }
   threads_.push_back(std::move(slot));
 }
 
@@ -85,11 +117,76 @@ bool Cluster::fetchable(const ThreadSlot& t, Cycle now) const {
 }
 
 void Cluster::tick(Cycle now) {
-  commit(now);
-  issue(now);
-  fetch(now);
+  const std::uint64_t committed_before =
+      stats_.committed_useful + stats_.committed_sync;
+  const std::uint64_t fetched_before = stats_.fetched;
+  {
+    obs::ScopedPhase p(prof_, obs::Phase::kCommit);
+    commit(now);
+  }
+  {
+    obs::ScopedPhase p(prof_, obs::Phase::kIssue);
+    issue(now);
+  }
+  {
+    obs::ScopedPhase p(prof_, obs::Phase::kFetch);
+    fetch(now);
+  }
   account(now);
   ++stats_.cycles;
+  if (trace_) trace_cycle(now, committed_before, fetched_before);
+}
+
+std::uint8_t Cluster::thread_state(const ThreadSlot& t, Cycle now) const {
+  if (!t.tc || t.tc->done()) return kHalt;
+  if (sync_waiting(t, now)) return kSyncWait;
+  if (mispredict_blocked(t, now) || t.window_count == 0) return kStall;
+  return kRun;
+}
+
+void Cluster::trace_cycle(Cycle now, std::uint64_t committed_before,
+                          std::uint64_t fetched_before) {
+  const std::uint64_t committed =
+      stats_.committed_useful + stats_.committed_sync - committed_before;
+  const std::uint64_t fetched = stats_.fetched - fetched_before;
+  const unsigned issued = issued_useful_ + issued_sync_;
+  if (fetched) {
+    trace_->instant(track_, "fetch", now,
+                    static_cast<std::int64_t>(fetched));
+  }
+  if (issued) {
+    trace_->instant(track_, "issue", now, static_cast<std::int64_t>(issued));
+  }
+  if (committed) {
+    trace_->instant(track_, "commit", now,
+                    static_cast<std::int64_t>(committed));
+  }
+  if (dispatch_stalled_) trace_->instant(track_, "dispatch_stall", now);
+
+  // Per-thread run/sync/stall/halt slices: emit the previous slice when the
+  // state changes (so an unchanged state costs one compare per thread).
+  for (ThreadSlot& t : threads_) {
+    const std::uint8_t st = thread_state(t, now);
+    if (st == t.obs_state) continue;
+    if (now > t.obs_since && t.obs_state != kHalt) {
+      trace_->complete(t.obs_track, thread_state_name(t.obs_state),
+                       t.obs_since, now);
+    }
+    if (st == kHalt) trace_->instant(t.obs_track, "halt", now);
+    t.obs_state = st;
+    t.obs_since = now;
+  }
+}
+
+void Cluster::trace_flush(Cycle end) {
+  if (!trace_) return;
+  for (ThreadSlot& t : threads_) {
+    if (t.obs_state != kHalt && end > t.obs_since) {
+      trace_->complete(t.obs_track, thread_state_name(t.obs_state),
+                       t.obs_since, end);
+      t.obs_since = end;
+    }
+  }
 }
 
 void Cluster::commit(Cycle now) {

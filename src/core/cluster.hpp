@@ -22,6 +22,8 @@
 #include "core/arch_config.hpp"
 #include "core/hazards.hpp"
 #include "exec/thread_context.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace csmt::core {
 
@@ -64,8 +66,11 @@ struct ClusterStats {
 
 class Cluster {
  public:
+  /// `trace`/`prof` attach observability hooks (nullptr = off);
+  /// `trace_pid` is the owning chip's trace process id.
   Cluster(ClusterId id, const ClusterConfig& cfg, FetchPolicy policy,
-          cache::MemSys& memsys);
+          cache::MemSys& memsys, obs::TraceSink* trace = nullptr,
+          obs::PhaseProfiler* prof = nullptr, std::uint32_t trace_pid = 0);
 
   /// Binds a software thread to the next free hardware context. At most
   /// `cfg.threads` threads per cluster (Table 2).
@@ -84,6 +89,9 @@ class Cluster {
 
   /// Human-readable snapshot of pipeline state (debugging aid).
   std::string debug_dump(Cycle now) const;
+
+  /// Closes the open per-thread state slices at end of run (tracing only).
+  void trace_flush(Cycle end);
 
   const ClusterStats& stats() const { return stats_; }
   const branch::PredictorStats& predictor_stats() const {
@@ -114,12 +122,24 @@ class Cluster {
     unsigned window_count = 0;          ///< in-flight uops of this thread
     bool in_sync = false;               ///< last fetched inst was sync-tagged
     std::deque<std::uint16_t> rob;      ///< program order (indices into slots_)
+
+    // Tracing-only state (untouched when the sink is null).
+    obs::Track obs_track;               ///< this thread's trace track
+    std::uint8_t obs_state = 0;         ///< ThreadState of the open slice
+    Cycle obs_since = 0;                ///< where the open slice began
   };
 
   void commit(Cycle now);
   void issue(Cycle now);
   void fetch(Cycle now);
   void account(Cycle now);
+
+  /// Per-cycle trace emission (only called when a sink is attached):
+  /// fetch/issue/commit instants on the cluster pipeline track plus
+  /// run/sync/stall/halt state slices on each thread's track.
+  void trace_cycle(Cycle now, std::uint64_t committed_before,
+                   std::uint64_t fetched_before);
+  std::uint8_t thread_state(const ThreadSlot& t, Cycle now) const;
 
   /// True when the dependence is satisfied at `now`. Otherwise `*hazard`
   /// reports why (kMemory for an in-flight load producer, kData otherwise).
@@ -141,6 +161,9 @@ class Cluster {
   FetchPolicy policy_;
   cache::MemSys& memsys_;
   branch::BranchPredictor predictor_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::PhaseProfiler* prof_ = nullptr;
+  obs::Track track_;  ///< this cluster's pipeline track
 
   std::vector<ThreadSlot> threads_;
   std::vector<Uop> slots_;

@@ -17,6 +17,7 @@
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace csmt::exec {
 
@@ -24,6 +25,14 @@ class ThreadContext;
 
 class SyncManager {
  public:
+  /// Attaches a trace sink plus the machine clock to timestamp sync events
+  /// with (the manager is functional and has no clock of its own; `clock`
+  /// must outlive the attached sink's use).
+  void set_trace(obs::TraceSink* trace, const Cycle* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
+
   /// Thread `t` arrives at the barrier at `addr` with `participants` total
   /// arrivals expected. Returns true if `t` was the last arriver (all
   /// waiters have been unblocked); otherwise `t` has been blocked.
@@ -51,10 +60,15 @@ class SyncManager {
     std::deque<ThreadContext*> waiters;
   };
 
+  /// Emits an instant event on the sync pseudo-process track of thread `t`.
+  void trace_sync(const char* name, const ThreadContext* t, Addr addr);
+
   std::unordered_map<Addr, BarrierState> barriers_;
   std::unordered_map<Addr, LockState> locks_;
   std::uint64_t barrier_episodes_ = 0;
   std::uint64_t lock_contentions_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  const Cycle* clock_ = nullptr;
 };
 
 }  // namespace csmt::exec

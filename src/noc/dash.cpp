@@ -20,6 +20,18 @@ DashInterconnect::DashInterconnect(const NocParams& noc_params,
                   "full-bit-map directory supports at most 32 chips");
 }
 
+void DashInterconnect::set_obs(obs::TraceSink* trace,
+                               obs::PhaseProfiler* prof) {
+  trace_ = trace;
+  prof_ = prof;
+  if (trace_) {
+    trace_->name_process(obs::kNocPid, "dash");
+    for (unsigned n = 0; n < params_.nodes; ++n) {
+      trace_->name_track({obs::kNocPid, n}, "home " + std::to_string(n));
+    }
+  }
+}
+
 void DashInterconnect::attach_chip(cache::MemSys* memsys) {
   CSMT_ASSERT(memsys != nullptr);
   CSMT_ASSERT_MSG(chips_.size() < params_.nodes, "too many chips attached");
@@ -59,6 +71,22 @@ Cycle DashInterconnect::invalidate_sharers(std::uint32_t sharers,
 }
 
 cache::MemoryBackend::FetchResult DashInterconnect::fetch_line(
+    ChipId chip, Addr line_addr, bool exclusive, Cycle t_request) {
+  obs::ScopedPhase phase(prof_, obs::Phase::kNoc);
+  const FetchResult res = fetch_line_impl(chip, line_addr, exclusive,
+                                          t_request);
+  if (trace_) {
+    // One slice per directory transaction on the home node's track, from
+    // request to data grant; the arg is the requesting chip.
+    trace_->complete({obs::kNocPid, home_of(line_addr)},
+                     exclusive ? "fetch_excl" : "fetch", t_request,
+                     t_request + res.base_latency + res.extra_delay,
+                     static_cast<std::int64_t>(chip));
+  }
+  return res;
+}
+
+cache::MemoryBackend::FetchResult DashInterconnect::fetch_line_impl(
     ChipId chip, Addr line_addr, bool exclusive, Cycle t_request) {
   CSMT_ASSERT_MSG(chips_.size() == params_.nodes,
                   "all chips must be attached before simulation");
@@ -112,6 +140,10 @@ cache::MemoryBackend::FetchResult DashInterconnect::fetch_line(
       }
       // Intervene at the current owner.
       ++stats_.interventions;
+      if (trace_) {
+        trace_->instant({obs::kNocPid, home}, "intervention", t_request,
+                        static_cast<std::int64_t>(e.owner));
+      }
       extra += net_.send(home, e.owner, t_request + extra);
       bool dirty = false;
       bool present;
@@ -155,8 +187,13 @@ cache::MemoryBackend::FetchResult DashInterconnect::fetch_line(
 
 Cycle DashInterconnect::upgrade_line(ChipId chip, Addr line_addr,
                                      Cycle t_request) {
+  obs::ScopedPhase phase(prof_, obs::Phase::kNoc);
   ++stats_.upgrades;
   const unsigned home = home_of(line_addr);
+  if (trace_) {
+    trace_->instant({obs::kNocPid, home}, "upgrade", t_request,
+                    static_cast<std::int64_t>(chip));
+  }
   const unsigned base = home == chip ? params_.local_upgrade_latency
                                      : params_.remote_upgrade_latency;
   Cycle extra = net_.send(chip, home, t_request);
@@ -187,8 +224,13 @@ Cycle DashInterconnect::upgrade_line(ChipId chip, Addr line_addr,
 }
 
 void DashInterconnect::writeback_line(ChipId chip, Addr line_addr, Cycle t) {
+  obs::ScopedPhase phase(prof_, obs::Phase::kNoc);
   ++stats_.writebacks;
   const unsigned home = home_of(line_addr);
+  if (trace_) {
+    trace_->instant({obs::kNocPid, home}, "writeback", t,
+                    static_cast<std::int64_t>(chip));
+  }
   net_.send(chip, home, t);
   occupy_memory(home, t);
   DirEntry& e = dir_.entry(line_addr);

@@ -17,6 +17,8 @@
 #include "noc/directory.hpp"
 #include "noc/network.hpp"
 #include "noc/params.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace csmt::noc {
 
@@ -55,7 +57,14 @@ class DashInterconnect final : public cache::MemoryBackend {
   const NetworkStats& network_stats() const { return net_.stats(); }
   const Directory& directory() const { return dir_; }
 
+  /// Attaches observability hooks (nullptr = off). Directory transactions
+  /// land on per-home-node tracks; host time is charged to Phase::kNoc.
+  void set_obs(obs::TraceSink* trace, obs::PhaseProfiler* prof);
+
  private:
+  MemoryBackend::FetchResult fetch_line_impl(ChipId chip, Addr line_addr,
+                                             bool exclusive, Cycle t_request);
+
   /// Serializes a transaction at the home directory; returns queuing delay.
   Cycle occupy_directory(unsigned home, Cycle t);
   /// Serializes a line transfer at a node's memory controller.
@@ -73,6 +82,8 @@ class DashInterconnect final : public cache::MemoryBackend {
   std::vector<Cycle> dir_busy_;
   std::vector<Cycle> mem_busy_;
   DashStats stats_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::PhaseProfiler* prof_ = nullptr;
 };
 
 }  // namespace csmt::noc

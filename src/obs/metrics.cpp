@@ -1,0 +1,28 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace csmt::obs {
+
+std::string sparkline(const std::vector<double>& xs) {
+  static const char* const kBlocks[] = {"▁", "▂", "▃", "▄",
+                                        "▅", "▆", "▇", "█"};
+  constexpr int kLevels = 8;
+  if (xs.empty()) return {};
+  const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  const double lo = *lo_it;
+  const double span = *hi_it - lo;
+  std::string out;
+  out.reserve(xs.size() * 3);
+  for (const double x : xs) {
+    int level = kLevels / 2;  // flat series renders as a mid row
+    if (span > 0) {
+      level = static_cast<int>((x - lo) / span * (kLevels - 1) + 0.5);
+      level = std::clamp(level, 0, kLevels - 1);
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+}  // namespace csmt::obs

@@ -1,0 +1,28 @@
+#include "obs/profile.hpp"
+
+#include <cstdio>
+
+namespace csmt::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kFetch: return "fetch";
+    case Phase::kIssue: return "issue";
+    case Phase::kCommit: return "commit";
+    case Phase::kMemory: return "memory";
+    case Phase::kNoc: return "noc";
+    case Phase::kOther: return "other";
+    case Phase::kCount_: break;
+  }
+  return "?";
+}
+
+std::string SimSpeed::summary() const {
+  if (!measured) return "unmeasured";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.2f Mcyc/s, %.0f KIPS, %.2fs",
+                cycles_per_sec() / 1e6, committed_kips(), wall_seconds);
+  return buf;
+}
+
+}  // namespace csmt::obs

@@ -1,0 +1,105 @@
+#include "obs/trace.hpp"
+
+namespace csmt::obs {
+namespace {
+
+/// Minimal JSON string escaping for track names (event names are trusted
+/// static literals and pass through verbatim).
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_) std::fputs("{\"traceEvents\":[", f_);
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::finish() {
+  if (!f_) return;
+  std::fputs("\n]}\n", f_);
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+void ChromeTraceWriter::begin_record() {
+  std::fputs(first_ ? "\n" : ",\n", f_);
+  first_ = false;
+  ++events_;
+}
+
+void ChromeTraceWriter::event(const TraceEvent& e) {
+  if (!f_) return;
+  begin_record();
+  const unsigned long long ts = static_cast<unsigned long long>(e.ts);
+  const unsigned long long pid = e.track.pid;
+  const unsigned long long tid = e.track.tid;
+  switch (e.phase) {
+    case TraceEvent::Phase::kComplete:
+      std::fprintf(f_,
+                   "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+                   "\"pid\":%llu,\"tid\":%llu",
+                   e.name, ts, static_cast<unsigned long long>(e.dur), pid,
+                   tid);
+      break;
+    case TraceEvent::Phase::kInstant:
+      std::fprintf(f_,
+                   "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu,"
+                   "\"pid\":%llu,\"tid\":%llu",
+                   e.name, ts, pid, tid);
+      break;
+    case TraceEvent::Phase::kCounter:
+      std::fprintf(f_,
+                   "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%llu,\"pid\":%llu,"
+                   "\"tid\":%llu,\"args\":{\"value\":%lld}}",
+                   e.name, ts, pid, tid, static_cast<long long>(e.arg));
+      return;
+  }
+  if (e.arg != kNoArg) {
+    std::fprintf(f_, ",\"args\":{\"n\":%lld}}", static_cast<long long>(e.arg));
+  } else {
+    std::fputc('}', f_);
+  }
+}
+
+void ChromeTraceWriter::name_process(std::uint32_t pid,
+                                     const std::string& name) {
+  if (!f_) return;
+  begin_record();
+  std::fprintf(f_,
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+               "\"args\":{\"name\":\"%s\"}}",
+               pid, escaped(name).c_str());
+}
+
+void ChromeTraceWriter::name_track(Track track, const std::string& name) {
+  if (!f_) return;
+  begin_record();
+  std::fprintf(f_,
+               "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+               "\"args\":{\"name\":\"%s\"}}",
+               track.pid, track.tid, escaped(name).c_str());
+}
+
+}  // namespace csmt::obs

@@ -1,6 +1,8 @@
 #include "sim/experiment.hpp"
 
-#include "common/assert.hpp"
+#include <cstdio>
+
+#include "obs/trace.hpp"
 
 namespace csmt::sim {
 
@@ -16,6 +18,21 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
   if (spec.l1_private) mc.mem.l1_private = *spec.l1_private;
   mc.chips = spec.chips;
+  mc.metrics_interval = spec.metrics_interval;
+
+  std::optional<obs::ChromeTraceWriter> writer;
+  if (!spec.trace_path.empty()) {
+    writer.emplace(spec.trace_path);
+    if (writer->ok()) {
+      mc.trace = &*writer;
+    } else {
+      std::fprintf(stderr, "csmt: cannot open trace file '%s'; tracing off\n",
+                   spec.trace_path.c_str());
+      writer.reset();
+    }
+  }
+  obs::PhaseProfiler profiler;
+  if (spec.profile_phases) mc.profiler = &profiler;
 
   Machine machine(mc);
 
@@ -26,9 +43,27 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   ExperimentResult result;
   result.spec = spec;
+  obs::WallTimer timer;
   result.stats = machine.run(build.program, memory, build.args_base);
-  CSMT_ASSERT_MSG(!result.stats.timed_out, "simulation watchdog expired");
+  result.sim_speed.wall_seconds = timer.elapsed_seconds();
+  if (writer) writer->finish();
+
+  result.sim_speed.measured = true;
+  result.sim_speed.sim_cycles = result.stats.cycles;
+  result.sim_speed.committed =
+      result.stats.committed_useful + result.stats.committed_sync;
+  if (spec.profile_phases) {
+    result.sim_speed.phases_measured = true;
+    for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+      result.sim_speed.phase_seconds[i] =
+          profiler.seconds(static_cast<obs::Phase>(i));
+    }
+  }
+
+  // A timed-out run carries partial counters; it is reported (and rendered)
+  // as TIMEOUT rather than aborting the whole sweep, and never validates.
   result.validated =
+      !result.stats.timed_out &&
       wl->validate(memory, build, mc.total_threads(), spec.scale);
   return result;
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/arch_config.hpp"
+#include "obs/profile.hpp"
 #include "sim/machine.hpp"
 #include "workloads/workload.hpp"
 
@@ -24,14 +25,36 @@ struct ExperimentSpec {
   /// private L1s, false = the paper's shared L1.
   std::optional<bool> l1_private;
 
+  /// Epoch length for interval metrics, in cycles (0 = off). Part of spec
+  /// identity: the epoch series lives in the cached RunStats.
+  Cycle metrics_interval = 0;
+
+  // --- observability knobs excluded from identity (they never perturb
+  // RunStats; see DESIGN.md §7) ---
+  /// Chrome-trace output path; empty = no tracing.
+  std::string trace_path;
+  /// Record the per-phase host-time breakdown in the result's SimSpeed.
+  bool profile_phases = false;
+
   /// Specs are value types; equality is what the sweep cache keys on.
-  bool operator==(const ExperimentSpec&) const = default;
+  /// trace_path and profile_phases are deliberately not compared: two runs
+  /// differing only in them produce identical RunStats.
+  bool operator==(const ExperimentSpec& o) const {
+    return workload == o.workload && arch == o.arch && chips == o.chips &&
+           scale == o.scale && fetch_policy == o.fetch_policy &&
+           window_size == o.window_size && l1_private == o.l1_private &&
+           metrics_interval == o.metrics_interval;
+  }
 };
 
 struct ExperimentResult {
   ExperimentSpec spec;
   RunStats stats;
   bool validated = false;  ///< host reference matched the simulated result
+  /// Wall-clock simulator speed of the run that produced `stats` (host-
+  /// dependent, hence outside RunStats; a cached result reports the speed
+  /// of the original run).
+  obs::SimSpeed sim_speed;
 };
 
 /// Builds the workload, runs it on the machine, validates functionally.

@@ -20,15 +20,51 @@ Machine::Machine(const MachineConfig& cfg) : cfg_(cfg) {
     noc::NocParams np = cfg_.noc;
     np.nodes = cfg_.chips;
     dash_ = std::make_unique<noc::DashInterconnect>(np, cfg_.mem);
+    dash_->set_obs(cfg_.trace, cfg_.profiler);
     backend = dash_.get();
+  }
+  if (cfg_.trace) {
+    cfg_.trace->name_process(0, "machine");
+    cfg_.trace->name_process(obs::kSyncPid, "sync");
   }
   chips_.reserve(cfg_.chips);
   for (unsigned c = 0; c < cfg_.chips; ++c) {
-    chips_.push_back(std::make_unique<core::Chip>(static_cast<ChipId>(c),
-                                                  cfg_.arch, cfg_.mem,
-                                                  *backend));
+    chips_.push_back(std::make_unique<core::Chip>(
+        static_cast<ChipId>(c), cfg_.arch, cfg_.mem, *backend, cfg_.trace,
+        cfg_.profiler));
     if (dash_) dash_->attach_chip(&chips_.back()->memsys());
   }
+}
+
+obs::EpochCounters Machine::snapshot_counters() const {
+  obs::EpochCounters c;
+  for (const auto& chip : chips_) {
+    const core::ChipStats cs = chip->stats();
+    c.committed_useful += cs.committed_useful;
+    c.committed_sync += cs.committed_sync;
+    c.fetched += cs.fetched;
+    c.slots.merge(cs.slots);
+    const cache::MemSys& ms = chip->memsys();
+    c.loads += ms.stats().loads;
+    c.stores += ms.stats().stores;
+    c.l1_misses += ms.l1_stats().misses;
+    c.l2_misses += ms.l2_stats().misses;
+    c.tlb_misses += ms.tlb_stats().misses;
+    c.bank_rejections += ms.stats().bank_rejections;
+    c.mshr_rejections += ms.stats().mshr_rejections;
+  }
+  return c;
+}
+
+void Machine::trace_name_sync_tracks(const exec::ThreadGroup& group) {
+  for (unsigned t = 0; t < group.size(); ++t) {
+    cfg_.trace->name_track({obs::kSyncPid, group.thread(t).tid()},
+                           "thread " + std::to_string(group.thread(t).tid()));
+  }
+}
+
+void Machine::trace_flush(Cycle end) {
+  for (auto& chip : chips_) chip->trace_flush(end);
 }
 
 RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
@@ -46,6 +82,12 @@ RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
   RunStats out;
   Cycle now = 0;
   double running_accum = 0.0;
+  if (cfg_.trace) {
+    group.sync().set_trace(cfg_.trace, &now);
+    trace_name_sync_tracks(group);
+  }
+  obs::EpochSampler sampler(cfg_.metrics_interval);
+  std::int64_t last_running_traced = -1;
   while (true) {
     bool finished = true;
     for (auto& chip : chips_) {
@@ -63,10 +105,22 @@ RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
     unsigned running = 0;
     for (const auto& chip : chips_) running += chip->running_threads();
     running_accum += running;
+    if (cfg_.trace && running != last_running_traced) {
+      cfg_.trace->counter({0, 0}, "running_threads", now, running);
+      last_running_traced = running;
+    }
     ++now;
+    if (sampler.enabled()) {
+      sampler.note_running(running);
+      if (sampler.due(now)) sampler.close(now, snapshot_counters());
+    }
   }
 
-  return collect_stats(now, running_accum, out.timed_out);
+  if (cfg_.trace) trace_flush(now);
+  sampler.finish(now, snapshot_counters());
+  out = collect_stats(now, running_accum, out.timed_out);
+  out.epochs = sampler.take();
+  return out;
 }
 
 MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
@@ -113,6 +167,13 @@ MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
   Cycle now = 0;
   double running_accum = 0.0;
   bool timed_out = false;
+  if (cfg_.trace) {
+    for (auto& g : groups) {
+      g->sync().set_trace(cfg_.trace, &now);
+      trace_name_sync_tracks(*g);
+    }
+  }
+  obs::EpochSampler sampler(cfg_.metrics_interval);
   while (true) {
     bool finished = true;
     for (auto& chip : chips_) {
@@ -131,14 +192,21 @@ MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
     for (const auto& chip : chips_) running += chip->running_threads();
     running_accum += running;
     ++now;
+    if (sampler.enabled()) {
+      sampler.note_running(running);
+      if (sampler.due(now)) sampler.close(now, snapshot_counters());
+    }
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       if (out.job_finish[j] == 0 && groups[j]->all_done()) {
         out.job_finish[j] = now;
       }
     }
   }
+  if (cfg_.trace) trace_flush(now);
+  sampler.finish(now, snapshot_counters());
   out.makespan = now;
   out.combined = collect_stats(now, running_accum, timed_out);
+  out.combined.epochs = sampler.take();
   return out;
 }
 

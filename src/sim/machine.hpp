@@ -13,6 +13,9 @@
 #include "exec/thread_group.hpp"
 #include "isa/program.hpp"
 #include "noc/dash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace csmt::sim {
 
@@ -23,6 +26,15 @@ struct MachineConfig {
   noc::NocParams noc;
   /// Watchdog: abort the run (timed_out=true) after this many cycles.
   Cycle max_cycles = 500'000'000;
+
+  // --- observability (all off by default; RunStats counters are
+  // bit-identical with these on or off, see DESIGN.md §7) ---
+  /// Event sink for the whole machine; not owned, must outlive the machine.
+  obs::TraceSink* trace = nullptr;
+  /// Host-time phase profiler; not owned, must outlive the machine.
+  obs::PhaseProfiler* profiler = nullptr;
+  /// Epoch length for interval metrics, in cycles; 0 = no epochs.
+  Cycle metrics_interval = 0;
 
   /// Hardware thread contexts across the machine — the paper creates
   /// exactly this many software threads (§4).
@@ -60,6 +72,11 @@ struct RunStats {
   branch::PredictorStats predictor;
   MemCounters mem;
   std::optional<noc::DashStats> dash;  ///< high-end machines only
+
+  /// Interval-metrics time series; empty unless
+  /// MachineConfig::metrics_interval was set. Deterministic (pure cycle
+  /// counters), so it participates in result caching like any counter.
+  std::vector<obs::EpochSample> epochs;
 
   /// Useful instructions committed per cycle across the machine — the
   /// Figure 6 y-axis when measured on FA1.
@@ -106,6 +123,13 @@ class Machine {
 
  private:
   RunStats collect_stats(Cycle cycles, double running_accum, bool timed_out);
+
+  /// Cumulative machine-wide counters for the epoch sampler.
+  obs::EpochCounters snapshot_counters() const;
+  /// Names the trace tracks of `group`'s threads on the sync pseudo-process.
+  void trace_name_sync_tracks(const exec::ThreadGroup& group);
+  /// Closes open trace slices at end of run.
+  void trace_flush(Cycle end);
 
   MachineConfig cfg_;
   std::unique_ptr<cache::LocalMemoryBackend> local_backend_;

@@ -54,6 +54,7 @@ std::string render_figure(const std::string& title,
     const double norm = normalized(r, base);
     StackedBar bar;
     bar.label = r.spec.workload + "/" + core::arch_name(r.spec.arch);
+    if (r.stats.timed_out) bar.label += " (TIMED OUT)";
     for (const Slot s : kLegend) {
       bar.segments.push_back(norm * r.stats.slots.fraction(s));
     }
@@ -76,7 +77,7 @@ std::string render_normalized_table(
   // Column per architecture (insertion order), row per workload.
   std::vector<std::string> archs;
   std::vector<std::string> workloads;
-  std::map<std::string, std::map<std::string, double>> cell;
+  std::map<std::string, std::map<std::string, std::string>> cell;
   for (const ExperimentResult& r : results) {
     const std::string arch = core::arch_name(r.spec.arch);
     if (std::find(archs.begin(), archs.end(), arch) == archs.end())
@@ -84,7 +85,8 @@ std::string render_normalized_table(
     if (std::find(workloads.begin(), workloads.end(), r.spec.workload) ==
         workloads.end())
       workloads.push_back(r.spec.workload);
-    cell[r.spec.workload][arch] = normalized(r, base);
+    cell[r.spec.workload][arch] =
+        r.stats.timed_out ? "TIMEOUT" : format_fixed(normalized(r, base), 1);
   }
 
   AsciiTable table;
@@ -95,7 +97,7 @@ std::string render_normalized_table(
     std::vector<std::string> row = {w};
     for (const std::string& a : archs) {
       const auto it = cell[w].find(a);
-      row.push_back(it == cell[w].end() ? "-" : format_fixed(it->second, 1));
+      row.push_back(it == cell[w].end() ? "-" : it->second);
     }
     table.row(row);
   }
@@ -116,9 +118,36 @@ std::string render_summary_table(
                format_percent(r.stats.slots.fraction(Slot::kSync)),
                format_percent(r.stats.slots.fraction(Slot::kMemory)),
                format_fixed(r.stats.avg_running_threads, 2),
-               r.validated ? "yes" : "NO"});
+               r.stats.timed_out ? "TIMEOUT" : (r.validated ? "yes" : "NO")});
   }
   return table.render();
+}
+
+std::string render_epoch_sparklines(
+    const std::vector<ExperimentResult>& results) {
+  std::string out;
+  for (const ExperimentResult& r : results) {
+    if (r.stats.epochs.empty()) continue;
+    std::vector<double> ipc, threads, l2;
+    ipc.reserve(r.stats.epochs.size());
+    for (const obs::EpochSample& e : r.stats.epochs) {
+      ipc.push_back(e.useful_ipc());
+      threads.push_back(e.avg_running_threads);
+      l2.push_back(static_cast<double>(e.counters.l2_misses));
+    }
+    const auto minmax = [](const std::vector<double>& xs) {
+      const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+      return " [" + format_fixed(*lo, 2) + ", " + format_fixed(*hi, 2) + "]";
+    };
+    out += r.spec.workload + "/" + core::arch_name(r.spec.arch) + " x" +
+           std::to_string(r.spec.chips) + "  (" +
+           std::to_string(r.stats.epochs.size()) + " epochs of " +
+           format_count(r.spec.metrics_interval) + " cycles)\n";
+    out += "  useful IPC  " + obs::sparkline(ipc) + minmax(ipc) + "\n";
+    out += "  run threads " + obs::sparkline(threads) + minmax(threads) + "\n";
+    out += "  L2 misses   " + obs::sparkline(l2) + minmax(l2) + "\n";
+  }
+  return out;
 }
 
 json::Value to_json(const ExperimentResult& r) {
@@ -131,6 +160,7 @@ json::Value to_json(const ExperimentResult& r) {
     spec["fetch_policy"] = core::fetch_policy_name(*r.spec.fetch_policy);
   if (r.spec.window_size) spec["window_size"] = *r.spec.window_size;
   if (r.spec.l1_private) spec["l1_private"] = *r.spec.l1_private;
+  if (r.spec.metrics_interval) spec["metrics_interval"] = r.spec.metrics_interval;
 
   const RunStats& s = r.stats;
   json::Value slots = json::Value::object();
@@ -182,11 +212,57 @@ json::Value to_json(const ExperimentResult& r) {
     dash["writebacks"] = s.dash->writebacks;
     stats["dash"] = std::move(dash);
   }
+  if (!s.epochs.empty()) {
+    json::Value epochs = json::Value::array();
+    for (const obs::EpochSample& e : s.epochs) {
+      json::Value ep = json::Value::object();
+      ep["begin"] = e.begin;
+      ep["end"] = e.end;
+      ep["avg_running_threads"] = e.avg_running_threads;
+      ep["committed_useful"] = e.counters.committed_useful;
+      ep["committed_sync"] = e.counters.committed_sync;
+      ep["fetched"] = e.counters.fetched;
+      {
+        json::Value slots_ep = json::Value::object();
+        for (std::size_t i = 0; i < core::kNumSlots; ++i) {
+          slots_ep[core::slot_name(static_cast<Slot>(i))] =
+              e.counters.slots.slots[i];
+        }
+        ep["slots"] = std::move(slots_ep);
+      }
+      ep["loads"] = e.counters.loads;
+      ep["stores"] = e.counters.stores;
+      ep["l1_misses"] = e.counters.l1_misses;
+      ep["l2_misses"] = e.counters.l2_misses;
+      ep["tlb_misses"] = e.counters.tlb_misses;
+      ep["bank_rejections"] = e.counters.bank_rejections;
+      ep["mshr_rejections"] = e.counters.mshr_rejections;
+      epochs.push_back(std::move(ep));
+    }
+    stats["epochs"] = std::move(epochs);
+  }
 
   json::Value out = json::Value::object();
   out["spec"] = std::move(spec);
   out["stats"] = std::move(stats);
   out["validated"] = r.validated;
+  if (r.sim_speed.measured) {
+    json::Value speed = json::Value::object();
+    speed["wall_seconds"] = r.sim_speed.wall_seconds;
+    speed["sim_cycles"] = r.sim_speed.sim_cycles;
+    speed["committed"] = r.sim_speed.committed;
+    speed["cycles_per_sec"] = r.sim_speed.cycles_per_sec();  // derived
+    speed["committed_kips"] = r.sim_speed.committed_kips();  // derived
+    if (r.sim_speed.phases_measured) {
+      json::Value phases = json::Value::object();
+      for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+        phases[obs::phase_name(static_cast<obs::Phase>(i))] =
+            r.sim_speed.phase_seconds[i];
+      }
+      speed["phase_seconds"] = std::move(phases);
+    }
+    out["sim_speed"] = std::move(speed);
+  }
   return out;
 }
 
@@ -220,6 +296,8 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
     r.spec.window_size = w->as_unsigned();
   if (const json::Value* p = spec->find("l1_private"))
     r.spec.l1_private = p->as_bool();
+  if (const json::Value* m = spec->find("metrics_interval"))
+    r.spec.metrics_interval = m->as_u64();
 
   RunStats& s = r.stats;
   const json::Value* cycles = stats->find("cycles");
@@ -289,6 +367,60 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
       dash.writebacks = c->as_u64();
     s.dash = dash;
   }
+  if (const json::Value* epochs = stats->find("epochs")) {
+    for (const json::Value& ev : epochs->items()) {
+      obs::EpochSample e;
+      if (const json::Value* c = ev.find("begin")) e.begin = c->as_u64();
+      if (const json::Value* c = ev.find("end")) e.end = c->as_u64();
+      if (const json::Value* c = ev.find("avg_running_threads"))
+        e.avg_running_threads = c->as_number();
+      if (const json::Value* c = ev.find("committed_useful"))
+        e.counters.committed_useful = c->as_u64();
+      if (const json::Value* c = ev.find("committed_sync"))
+        e.counters.committed_sync = c->as_u64();
+      if (const json::Value* c = ev.find("fetched"))
+        e.counters.fetched = c->as_u64();
+      if (const json::Value* slots_ep = ev.find("slots")) {
+        for (std::size_t i = 0; i < core::kNumSlots; ++i) {
+          if (const json::Value* c =
+                  slots_ep->find(core::slot_name(static_cast<Slot>(i))))
+            e.counters.slots.slots[i] = c->as_number();
+        }
+      }
+      if (const json::Value* c = ev.find("loads"))
+        e.counters.loads = c->as_u64();
+      if (const json::Value* c = ev.find("stores"))
+        e.counters.stores = c->as_u64();
+      if (const json::Value* c = ev.find("l1_misses"))
+        e.counters.l1_misses = c->as_u64();
+      if (const json::Value* c = ev.find("l2_misses"))
+        e.counters.l2_misses = c->as_u64();
+      if (const json::Value* c = ev.find("tlb_misses"))
+        e.counters.tlb_misses = c->as_u64();
+      if (const json::Value* c = ev.find("bank_rejections"))
+        e.counters.bank_rejections = c->as_u64();
+      if (const json::Value* c = ev.find("mshr_rejections"))
+        e.counters.mshr_rejections = c->as_u64();
+      s.epochs.push_back(e);
+    }
+  }
+  if (const json::Value* speed = v.find("sim_speed")) {
+    r.sim_speed.measured = true;
+    if (const json::Value* c = speed->find("wall_seconds"))
+      r.sim_speed.wall_seconds = c->as_number();
+    if (const json::Value* c = speed->find("sim_cycles"))
+      r.sim_speed.sim_cycles = c->as_u64();
+    if (const json::Value* c = speed->find("committed"))
+      r.sim_speed.committed = c->as_u64();
+    if (const json::Value* phases = speed->find("phase_seconds")) {
+      r.sim_speed.phases_measured = true;
+      for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+        if (const json::Value* c =
+                phases->find(obs::phase_name(static_cast<obs::Phase>(i))))
+          r.sim_speed.phase_seconds[i] = c->as_number();
+      }
+    }
+  }
 
   r.validated = validated->as_bool();
   return r;
@@ -299,7 +431,7 @@ std::string render_json(const std::vector<ExperimentResult>& results) {
   for (const ExperimentResult& r : results) results_array.push_back(to_json(r));
   json::Value doc = json::Value::object();
   doc["schema"] = "csmt-sweep-results";
-  doc["version"] = 1;
+  doc["version"] = 2;  // v2: per-point sim_speed + optional epochs
   doc["results"] = std::move(results_array);
   return doc.dump(2) + "\n";
 }

@@ -24,8 +24,15 @@ std::string render_normalized_table(
     const std::vector<ExperimentResult>& results,
     const std::string& baseline_arch);
 
-/// One row per run: cycles, useful IPC, hazard shares, validation status.
+/// One row per run: cycles, useful IPC, hazard shares, validation status
+/// ("yes" / "NO" / "TIMEOUT" for watchdog-aborted runs).
 std::string render_summary_table(
+    const std::vector<ExperimentResult>& results);
+
+/// Compact interval-metrics view: per run with a non-empty epoch series,
+/// sparklines of useful IPC, running threads, and L2 misses over time.
+/// Empty string when no result carries epochs.
+std::string render_epoch_sparklines(
     const std::vector<ExperimentResult>& results);
 
 /// Full machine-readable form of one result: the spec, every RunStats

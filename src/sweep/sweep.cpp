@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include <atomic>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -8,6 +9,7 @@
 #include <sstream>
 
 #include "common/thread_pool.hpp"
+#include "obs/profile.hpp"
 #include "sim/report.hpp"
 
 namespace csmt::sweep {
@@ -17,7 +19,9 @@ namespace fs = std::filesystem;
 
 /// Bump when the result schema or any timing-relevant default changes, so
 /// stale cache entries stop matching.
-constexpr const char* kCacheKeyVersion = "csmt-sweep-v1";
+/// v2: results carry sim_speed + optional epoch series; specs carry
+/// metrics_interval.
+constexpr const char* kCacheKeyVersion = "csmt-sweep-v2";
 
 std::uint64_t fnv1a(std::string_view bytes) {
   std::uint64_t h = 1469598103934665603ull;
@@ -43,6 +47,7 @@ std::string canonical_encoding(const sim::ExperimentSpec& spec) {
   if (spec.window_size) out << *spec.window_size;
   out << "|l1p=";
   if (spec.l1_private) out << (*spec.l1_private ? 1 : 0);
+  out << "|mi=" << spec.metrics_interval;
   out << "|preset=" << arch.clusters << ',' << cl.width << ',' << cl.threads
       << ',' << cl.int_units << ',' << cl.ldst_units << ',' << cl.fp_units
       << ',' << cl.iq_entries << ',' << cl.rob_entries << ',' << cl.int_rename
@@ -85,6 +90,7 @@ std::vector<sim::ExperimentSpec> SweepSpec::expand() const {
           spec.fetch_policy = fetch_policy;
           spec.window_size = window_size;
           spec.l1_private = l1_private;
+          spec.metrics_interval = metrics_interval;
           points.push_back(std::move(spec));
         }
       }
@@ -135,6 +141,22 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
     const std::vector<sim::ExperimentSpec>& points) {
   std::vector<sim::ExperimentResult> results(points.size());
 
+  // Progress: one stderr status line, rewritten in place, fed by the
+  // per-point wall clock. Emission is a single fprintf, so concurrent
+  // workers interleave whole lines, never fragments.
+  const obs::WallTimer sweep_timer;
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<std::uint64_t> hits{0};
+  auto emit_progress = [&](bool final_line) {
+    if (!options_.progress || points.empty()) return;
+    std::fprintf(stderr,
+                 "\rcsmt sweep: %llu/%zu done (hits=%llu) elapsed=%.1fs%s",
+                 static_cast<unsigned long long>(done.load()), points.size(),
+                 static_cast<unsigned long long>(hits.load()),
+                 sweep_timer.elapsed_seconds(), final_line ? "\n" : "");
+    std::fflush(stderr);
+  };
+
   // Cache probes are serial (they are file reads, not simulations); only
   // the misses go to the pool. Each worker writes results[i], so ordering
   // and bit-identity are independent of scheduling.
@@ -143,10 +165,9 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
     if (auto cached = cache_load(points[i])) {
       results[i] = std::move(*cached);
       ++counters_.cache_hits;
-      if (options_.progress) {
-        std::fputc('+', stderr);
-        std::fflush(stderr);
-      }
+      ++hits;
+      ++done;
+      emit_progress(false);
     } else {
       misses.push_back(i);
     }
@@ -155,29 +176,27 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
   if (!misses.empty()) {
     ThreadPool pool(std::min<std::size_t>(options_.jobs, misses.size()));
     for (const std::size_t i : misses) {
-      pool.submit([this, i, &points, &results] {
+      pool.submit([this, i, &points, &results, &done, &emit_progress] {
         results[i] = sim::run_experiment(points[i]);
         cache_store(results[i]);
-        if (options_.progress) {
-          std::fputc('.', stderr);
-          std::fflush(stderr);
-        }
+        ++done;
+        emit_progress(false);
       });
     }
     pool.wait_idle();
     counters_.executed += misses.size();
   }
 
-  if (options_.progress && !points.empty()) {
-    std::fputc('\n', stderr);
-    std::fflush(stderr);
-  }
+  emit_progress(true);
   return results;
 }
 
 std::optional<sim::ExperimentResult> SweepRunner::cache_load(
     const sim::ExperimentSpec& spec) const {
   if (options_.cache_dir.empty()) return std::nullopt;
+  // A traced point must actually simulate: the cached counters would be
+  // identical, but the side effect — the trace file — would not exist.
+  if (!spec.trace_path.empty()) return std::nullopt;
   const fs::path path = fs::path(options_.cache_dir) / cache_entry_name(spec);
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;

@@ -29,6 +29,8 @@ struct SweepSpec {
   std::optional<core::FetchPolicy> fetch_policy;
   std::optional<unsigned> window_size;
   std::optional<bool> l1_private;
+  /// Interval-metrics epoch length stamped onto every point (0 = off).
+  Cycle metrics_interval = 0;
 
   /// Expansion order: workload-major, then arch, then chips, then scale —
   /// identical to the nesting of the old per-bench loops.
@@ -40,7 +42,7 @@ struct SweepOptions {
   unsigned jobs = 1;
   /// Result-cache directory; empty disables caching.
   std::string cache_dir;
-  /// Progress marks on stderr: '.' = simulated, '+' = cache hit.
+  /// Progress line on stderr: "k/N done (hits=H) elapsed=Xs".
   bool progress = true;
 
   /// Environment defaults: CSMT_JOBS (count, or 0 for hardware width) and

@@ -64,6 +64,18 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.fraction(3), 0.75);
 }
 
+TEST(Histogram, ZeroBucketsClampsToOne) {
+  // Regression: Histogram(0) used to underflow `counts_.size() - 1` in
+  // add()'s clamp and write out of bounds.
+  Histogram h(0);
+  EXPECT_EQ(h.buckets(), 1u);
+  h.add(0);
+  h.add(99, 2);  // clamps into the single bucket
+  EXPECT_EQ(h.at(0), 3u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 1.0);
+}
+
 TEST(Histogram, MeanWeighted) {
   Histogram h(10);
   h.add(2, 3);

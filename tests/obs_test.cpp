@@ -1,0 +1,380 @@
+// Unit tests for csmt::obs: Chrome trace writer output stability, the
+// epoch sampler, phase profiling, sparklines, the null-sink fast path
+// (tracing off must not perturb RunStats), and the JSON round trip of the
+// new observability fields.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "isa/builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+
+namespace csmt {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// --- ChromeTraceWriter ---------------------------------------------------
+
+TEST(ChromeTraceWriter, GoldenOutputIsStable) {
+  // The writer's byte-level format is a compatibility surface: Perfetto and
+  // chrome://tracing parse it, and this golden string pins it down.
+  const std::string path = temp_path("csmt_obs_golden_trace.json");
+  {
+    obs::ChromeTraceWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.name_process(obs::kChipPidBase, "chip 0");
+    w.name_track({obs::kChipPidBase, 0}, "cluster 0 pipeline");
+    w.instant({obs::kChipPidBase, 0}, "fetch", 5, 3);
+    w.complete({obs::kChipPidBase, obs::kThreadTidBase}, "run", 0, 10);
+    w.counter({0, 0}, "running_threads", 7, 8);
+    w.finish();
+    EXPECT_EQ(w.events_written(), 5u);
+  }
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"chip 0\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"cluster 0 pipeline\"}},\n"
+      "{\"name\":\"fetch\",\"ph\":\"i\",\"s\":\"t\",\"ts\":5,\"pid\":1,"
+      "\"tid\":0,\"args\":{\"n\":3}},\n"
+      "{\"name\":\"run\",\"ph\":\"X\",\"ts\":0,\"dur\":10,\"pid\":1,"
+      "\"tid\":100},\n"
+      "{\"name\":\"running_threads\",\"ph\":\"C\",\"ts\":7,\"pid\":0,"
+      "\"tid\":0,\"args\":{\"value\":8}}\n"
+      "]}\n";
+  EXPECT_EQ(slurp(path), expected);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceWriter, OutputParsesAsJson) {
+  const std::string path = temp_path("csmt_obs_parse_trace.json");
+  {
+    obs::ChromeTraceWriter w(path);
+    w.name_track({obs::kSyncPid, 100}, "thread \"0\"\n");  // needs escaping
+    w.instant({obs::kSyncPid, 100}, "barrier_enter", 42);
+  }  // destructor finishes the document
+  const auto doc = json::Value::parse(slurp(path));
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->items().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceWriter, FinishIsIdempotentAndDropsLateEvents) {
+  const std::string path = temp_path("csmt_obs_finish_trace.json");
+  obs::ChromeTraceWriter w(path);
+  w.instant({1, 0}, "a", 1);
+  w.finish();
+  w.finish();
+  w.instant({1, 0}, "late", 2);  // dropped, file already closed
+  EXPECT_EQ(w.events_written(), 1u);
+  EXPECT_TRUE(json::Value::parse(slurp(path)).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceWriter, UnopenableFileIsNotOk) {
+  obs::ChromeTraceWriter w("/nonexistent-dir-xyz/trace.json");
+  EXPECT_FALSE(w.ok());
+  w.instant({1, 0}, "a", 1);  // must not crash
+  EXPECT_EQ(w.events_written(), 0u);
+}
+
+// --- EpochSampler --------------------------------------------------------
+
+TEST(EpochSampler, ZeroIntervalIsDisabled) {
+  obs::EpochSampler s(0);
+  EXPECT_FALSE(s.enabled());
+  EXPECT_FALSE(s.due(1'000'000));
+  s.finish(1'000'000, {});
+  EXPECT_TRUE(s.samples().empty());
+}
+
+TEST(EpochSampler, ClosesOnBoundariesAndPartialTail) {
+  obs::EpochSampler s(10);
+  obs::EpochCounters cum;
+  // 25 cycles: 3 useful commits and 2 running threads per cycle, the way
+  // the machine loop drives the sampler.
+  for (Cycle cyc = 1; cyc <= 25; ++cyc) {
+    cum.committed_useful += 3;
+    s.note_running(2);
+    if (s.due(cyc)) s.close(cyc, cum);
+  }
+  s.finish(25, cum);
+  ASSERT_EQ(s.samples().size(), 3u);
+  const auto& e0 = s.samples()[0];
+  const auto& e2 = s.samples()[2];
+  EXPECT_EQ(e0.begin, 0u);
+  EXPECT_EQ(e0.end, 10u);
+  EXPECT_EQ(e0.counters.committed_useful, 30u);
+  EXPECT_DOUBLE_EQ(e0.avg_running_threads, 2.0);
+  EXPECT_DOUBLE_EQ(e0.useful_ipc(), 3.0);
+  EXPECT_EQ(e2.begin, 20u);
+  EXPECT_EQ(e2.end, 25u);  // partial tail
+  EXPECT_EQ(e2.length(), 5u);
+  EXPECT_EQ(e2.counters.committed_useful, 15u);
+}
+
+TEST(EpochSampler, FinishOnExactBoundaryAddsNothing) {
+  obs::EpochSampler s(10);
+  obs::EpochCounters cum;
+  for (Cycle cyc = 1; cyc <= 20; ++cyc) {
+    cum.fetched += 1;
+    s.note_running(1);
+    if (s.due(cyc)) s.close(cyc, cum);
+  }
+  s.finish(20, cum);  // epoch already closed at 20 — no empty tail
+  EXPECT_EQ(s.samples().size(), 2u);
+}
+
+TEST(EpochCounters, MergeAndMinus) {
+  obs::EpochCounters a, b;
+  a.committed_useful = 10;
+  a.l2_misses = 4;
+  a.slots[core::Slot::kUseful] = 1.5;
+  b.committed_useful = 7;
+  b.l2_misses = 1;
+  b.slots[core::Slot::kUseful] = 0.5;
+  obs::EpochCounters m = a;
+  m.merge(b);  // per-chip counters -> machine-wide snapshot
+  EXPECT_EQ(m.committed_useful, 17u);
+  EXPECT_EQ(m.l2_misses, 5u);
+  EXPECT_DOUBLE_EQ(m.slots[core::Slot::kUseful], 2.0);
+  const obs::EpochCounters d = m.minus(b);  // snapshot delta
+  EXPECT_EQ(d.committed_useful, 10u);
+  EXPECT_EQ(d.l2_misses, 4u);
+  EXPECT_DOUBLE_EQ(d.slots[core::Slot::kUseful], 1.5);
+}
+
+// --- Sparklines ----------------------------------------------------------
+
+TEST(Sparkline, ScalesToSeriesRange) {
+  const std::string s = obs::sparkline({0.0, 1.0, 2.0, 3.0});
+  // 4 glyphs, 3 bytes each (UTF-8 block characters).
+  EXPECT_EQ(s.size(), 12u);
+  EXPECT_EQ(s.substr(0, 3), "▁");  // the min
+  EXPECT_EQ(s.substr(9, 3), "█");  // the max
+}
+
+TEST(Sparkline, FlatSeriesIsMidRow) {
+  const std::string s = obs::sparkline({5.0, 5.0, 5.0});
+  EXPECT_EQ(s, "▅▅▅");
+}
+
+TEST(Sparkline, EmptySeriesIsEmpty) {
+  EXPECT_EQ(obs::sparkline({}), "");
+}
+
+// --- PhaseProfiler -------------------------------------------------------
+
+TEST(PhaseProfiler, SelfTimeAttribution) {
+  obs::PhaseProfiler prof;
+  volatile std::uint64_t sink = 0;
+  {
+    obs::ScopedPhase issue(&prof, obs::Phase::kIssue);
+    for (int i = 0; i < 50'000; ++i) sink += i;
+    {
+      obs::ScopedPhase mem(&prof, obs::Phase::kMemory);
+      for (int i = 0; i < 50'000; ++i) sink += i;
+    }
+  }
+  double total = 0;
+  for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+    const double sec = prof.seconds(static_cast<obs::Phase>(p));
+    EXPECT_GE(sec, 0.0);
+    total += sec;
+  }
+  EXPECT_GT(total, 0.0);
+  // Self-time: the nested memory scope's time must not also be charged to
+  // issue, so both buckets are populated independently.
+  EXPECT_GT(prof.seconds(obs::Phase::kIssue), 0.0);
+  EXPECT_GT(prof.seconds(obs::Phase::kMemory), 0.0);
+}
+
+TEST(PhaseProfiler, NullScopeIsNoop) {
+  obs::ScopedPhase scope(nullptr, obs::Phase::kNoc);  // must not crash
+  obs::SimSpeed speed;
+  EXPECT_FALSE(speed.measured);
+  EXPECT_EQ(speed.summary(), "unmeasured");
+  EXPECT_DOUBLE_EQ(speed.cycles_per_sec(), 0.0);
+}
+
+// --- Whole-machine tracing ----------------------------------------------
+
+isa::Program busy_program(unsigned iters) {
+  isa::ProgramBuilder b("busy");
+  isa::Reg r = b.ireg(), i = b.ireg(), n = b.ireg();
+  b.li(r, 1);
+  b.li(n, iters);
+  b.for_range(i, 0, n, 1, [&] { b.add(r, r, r); });
+  b.halt();
+  return b.take();
+}
+
+sim::RunStats run_busy(obs::TraceSink* trace, Cycle metrics_interval) {
+  sim::MachineConfig mc;
+  mc.arch = core::arch_preset(core::ArchKind::kSmt2);
+  mc.trace = trace;
+  mc.metrics_interval = metrics_interval;
+  sim::Machine m(mc);
+  mem::PagedMemory memory;
+  return m.run(busy_program(150), memory, 0);
+}
+
+TEST(MachineTrace, ProducesLoadableTracksAndIdenticalStats) {
+  const std::string path = temp_path("csmt_obs_machine_trace.json");
+  sim::RunStats traced;
+  {
+    obs::ChromeTraceWriter w(path);
+    ASSERT_TRUE(w.ok());
+    traced = run_busy(&w, 0);
+    w.finish();
+    EXPECT_GT(w.events_written(), 0u);
+  }
+  const std::string text = slurp(path);
+  ASSERT_TRUE(json::Value::parse(text).has_value());
+  // The advertised track layout: per-chip process, per-cluster pipeline
+  // tracks, per-thread state tracks, a memsys track, sync + machine rows.
+  EXPECT_NE(text.find("\"chip 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"cluster 0 pipeline\""), std::string::npos);
+  EXPECT_NE(text.find("\"cluster 1 pipeline\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread 7\""), std::string::npos);
+  EXPECT_NE(text.find("\"memsys\""), std::string::npos);
+  EXPECT_NE(text.find("\"running_threads\""), std::string::npos);
+  std::remove(path.c_str());
+
+  // Null-sink fast path: turning tracing off must leave every architectural
+  // counter bit-identical.
+  const sim::RunStats base = run_busy(nullptr, 0);
+  EXPECT_EQ(base.cycles, traced.cycles);
+  EXPECT_EQ(base.committed_useful, traced.committed_useful);
+  EXPECT_EQ(base.committed_sync, traced.committed_sync);
+  EXPECT_EQ(base.fetched, traced.fetched);
+  EXPECT_EQ(base.timed_out, traced.timed_out);
+  EXPECT_DOUBLE_EQ(base.avg_running_threads, traced.avg_running_threads);
+  for (std::size_t i = 0; i < core::kNumSlots; ++i)
+    EXPECT_DOUBLE_EQ(base.slots.slots[i], traced.slots.slots[i]);
+  EXPECT_EQ(base.mem.loads, traced.mem.loads);
+  EXPECT_EQ(base.mem.stores, traced.mem.stores);
+  EXPECT_EQ(base.mem.bank_rejections, traced.mem.bank_rejections);
+  EXPECT_EQ(base.mem.mshr_rejections, traced.mem.mshr_rejections);
+  EXPECT_DOUBLE_EQ(base.mem.l1_miss_rate, traced.mem.l1_miss_rate);
+  EXPECT_DOUBLE_EQ(base.mem.l2_miss_rate, traced.mem.l2_miss_rate);
+}
+
+TEST(MachineTrace, EpochSeriesCoversTheRunAndIsDeterministic) {
+  const sim::RunStats a = run_busy(nullptr, 200);
+  ASSERT_FALSE(a.epochs.empty());
+  // Contiguous coverage [0, cycles) in interval-sized steps.
+  Cycle expect_begin = 0;
+  for (const obs::EpochSample& e : a.epochs) {
+    EXPECT_EQ(e.begin, expect_begin);
+    EXPECT_GT(e.end, e.begin);
+    EXPECT_LE(e.length(), 200u);
+    expect_begin = e.end;
+  }
+  EXPECT_EQ(a.epochs.back().end, a.cycles);
+  // Epoch totals must sum to the run totals (pure counter differencing).
+  std::uint64_t useful = 0;
+  for (const obs::EpochSample& e : a.epochs)
+    useful += e.counters.committed_useful;
+  EXPECT_EQ(useful, a.committed_useful);
+  // And the sampler itself must not perturb the run.
+  const sim::RunStats b = run_busy(nullptr, 0);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.committed_useful, b.committed_useful);
+}
+
+// --- JSON round trip -----------------------------------------------------
+
+TEST(ObsJson, EpochsAndSimSpeedRoundTrip) {
+  sim::ExperimentResult r;
+  r.spec.workload = "ocean";
+  r.spec.arch = core::ArchKind::kSmt2;
+  r.spec.metrics_interval = 500;
+  r.stats.cycles = 1000;
+  r.stats.committed_useful = 4000;
+  r.validated = true;
+  for (int i = 0; i < 2; ++i) {
+    obs::EpochSample e;
+    e.begin = i * 500;
+    e.end = e.begin + 500;
+    e.avg_running_threads = 6.25 + i;
+    e.counters.committed_useful = 2000u + i;
+    e.counters.l2_misses = 11u * (i + 1);
+    e.counters.slots[core::Slot::kUseful] = 1234.5 + i;
+    r.stats.epochs.push_back(e);
+  }
+  r.sim_speed.measured = true;
+  r.sim_speed.wall_seconds = 0.25;
+  r.sim_speed.sim_cycles = 1000;
+  r.sim_speed.committed = 4100;
+  r.sim_speed.phases_measured = true;
+  r.sim_speed.phase_seconds[static_cast<std::size_t>(obs::Phase::kMemory)] =
+      0.125;
+
+  const auto back = sim::result_from_json(sim::to_json(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->spec == r.spec);
+  EXPECT_EQ(back->spec.metrics_interval, 500u);
+  ASSERT_EQ(back->stats.epochs.size(), 2u);
+  for (int i = 0; i < 2; ++i) {
+    const obs::EpochSample& e = back->stats.epochs[i];
+    EXPECT_EQ(e.begin, r.stats.epochs[i].begin);
+    EXPECT_EQ(e.end, r.stats.epochs[i].end);
+    EXPECT_DOUBLE_EQ(e.avg_running_threads,
+                     r.stats.epochs[i].avg_running_threads);
+    EXPECT_EQ(e.counters.committed_useful,
+              r.stats.epochs[i].counters.committed_useful);
+    EXPECT_EQ(e.counters.l2_misses, r.stats.epochs[i].counters.l2_misses);
+    EXPECT_DOUBLE_EQ(e.counters.slots[core::Slot::kUseful],
+                     r.stats.epochs[i].counters.slots[core::Slot::kUseful]);
+  }
+  EXPECT_TRUE(back->sim_speed.measured);
+  EXPECT_DOUBLE_EQ(back->sim_speed.wall_seconds, 0.25);
+  EXPECT_EQ(back->sim_speed.sim_cycles, 1000u);
+  EXPECT_EQ(back->sim_speed.committed, 4100u);
+  EXPECT_TRUE(back->sim_speed.phases_measured);
+  EXPECT_DOUBLE_EQ(
+      back->sim_speed
+          .phase_seconds[static_cast<std::size_t>(obs::Phase::kMemory)],
+      0.125);
+
+  // Sparkline rendering picks the series up from the parsed result.
+  const std::string spark = sim::render_epoch_sparklines({*back});
+  EXPECT_NE(spark.find("useful IPC"), std::string::npos);
+  EXPECT_NE(spark.find("2 epochs of 500 cycles"), std::string::npos);
+}
+
+TEST(ObsJson, SpecIdentityIgnoresTraceKnobs) {
+  sim::ExperimentSpec a, b;
+  a.workload = b.workload = "fft";
+  b.trace_path = "somewhere.json";
+  b.profile_phases = true;
+  EXPECT_TRUE(a == b);  // trace knobs never perturb RunStats
+  b.metrics_interval = 100;
+  EXPECT_FALSE(a == b);  // but the epoch series is part of the result
+}
+
+}  // namespace
+}  // namespace csmt

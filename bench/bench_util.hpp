@@ -46,6 +46,10 @@ struct BenchOptions {
   std::string json_path;   ///< empty = no JSON artifact
   std::string trace_path;  ///< empty = no Chrome trace (see trace_path_for)
   Cycle metrics_interval = 0;  ///< epoch length in cycles; 0 = no epochs
+  /// Force the per-cycle kernel (A/B verification, DESIGN.md §8). Results
+  /// are bit-identical either way, so cached results are reused as-is;
+  /// use a fresh --cache-dir when the point of the run is timing.
+  bool no_skip = false;
 };
 
 /// Trace output path for point `index` of an `n`-point grid: the configured
@@ -75,6 +79,9 @@ inline BenchOptions parse_options(int argc, char** argv,
   opt.sweep = sweep::SweepOptions::from_env();
   if (const char* path = std::getenv("CSMT_JSON")) opt.json_path = path;
   if (const char* path = std::getenv("CSMT_TRACE")) opt.trace_path = path;
+  if (const char* s = std::getenv("CSMT_NO_SKIP")) {
+    opt.no_skip = std::strcmp(s, "0") != 0;
+  }
   if (const char* s = std::getenv("CSMT_METRICS_INTERVAL")) {
     Cycle v = 0;
     const char* end = s + std::strlen(s);
@@ -124,12 +131,16 @@ inline BenchOptions parse_options(int argc, char** argv,
       opt.trace_path = v;
     } else if (const char* v = value_of(i, "--metrics-interval")) {
       opt.metrics_interval = parse_unsigned(v, "--metrics-interval");
+    } else if (std::strcmp(argv[i], "--no-skip") == 0) {
+      opt.no_skip = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale N] [--jobs N] [--cache-dir PATH] "
-                   "[--json PATH] [--trace PATH] [--metrics-interval N]\n"
+                   "[--json PATH] [--trace PATH] [--metrics-interval N] "
+                   "[--no-skip]\n"
                    "  (env: CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, "
-                   "CSMT_JSON, CSMT_TRACE, CSMT_METRICS_INTERVAL)\n",
+                   "CSMT_JSON, CSMT_TRACE, CSMT_METRICS_INTERVAL, "
+                   "CSMT_NO_SKIP)\n",
                    argv[0]);
       std::exit(2);
     }
@@ -169,10 +180,11 @@ inline std::vector<sim::ExperimentResult> run_figure_grid(
   spec.scales = {opt.scale};
   spec.metrics_interval = opt.metrics_interval;
   sweep::SweepRunner runner(opt.sweep);
-  if (opt.trace_path.empty()) return runner.run(spec);
+  if (opt.trace_path.empty() && !opt.no_skip) return runner.run(spec);
   std::vector<sim::ExperimentSpec> points = spec.expand();
   for (std::size_t i = 0; i < points.size(); ++i) {
     points[i].trace_path = trace_path_for(opt, i, points.size());
+    points[i].no_skip = opt.no_skip;
   }
   return runner.run(points);
 }

@@ -1,12 +1,26 @@
 // Simulator-throughput microbenchmarks (google-benchmark): how many
 // simulated cycles and dynamic instructions per wall-clock second the
 // components and the full machine sustain.
+//
+// After the google-benchmark suites, a skip-ahead A/B section runs a set of
+// machine points twice — quiescence scheduler vs --no-skip — and reports
+// the skipped-cycle fraction and speedup per point, writing the results to
+// BENCH_simspeed.json (override with CSMT_SIMSPEED_JSON; empty disables)
+// so the perf trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "branch/predictor.hpp"
 #include "cache/backend.hpp"
 #include "cache/memsys.hpp"
+#include "common/json.hpp"
 #include "exec/thread_group.hpp"
+#include "isa/builder.hpp"
+#include "sim/experiment.hpp"
 #include "sim/machine.hpp"
 #include "workloads/workload.hpp"
 
@@ -86,6 +100,216 @@ BENCHMARK(BM_FullMachine)
     ->Arg(static_cast<int>(core::ArchKind::kSmt2))
     ->Arg(static_cast<int>(core::ArchKind::kSmt1));
 
+// ---------------------------------------------------------------------------
+// Skip-ahead A/B: quiescence scheduler vs per-cycle kernel (--no-skip).
+
+/// One A/B point's outcome. Stats are asserted equal between kernels (the
+/// exhaustive grid lives in scheduler_test); wall numbers are per kernel.
+struct AbRow {
+  std::string name;
+  std::string arch;
+  unsigned chips = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t quiet_cycles = 0;
+  double skip_seconds = 0.0;
+  double noskip_seconds = 0.0;
+  bool stats_equal = false;
+
+  double quiet_fraction() const {
+    return cycles ? static_cast<double>(quiet_cycles) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  double speedup() const {
+    return skip_seconds > 0 ? noskip_seconds / skip_seconds : 0.0;
+  }
+  double skip_cps() const {
+    return skip_seconds > 0 ? static_cast<double>(cycles) / skip_seconds : 0.0;
+  }
+  double noskip_cps() const {
+    return noskip_seconds > 0 ? static_cast<double>(cycles) / noskip_seconds
+                              : 0.0;
+  }
+};
+
+constexpr Addr kChaseBase = 1 << 20;
+constexpr std::uint64_t kChaseRegionBytes = 8ull << 20;  ///< per thread
+constexpr std::uint64_t kChaseRegionWords = kChaseRegionBytes / 8;
+constexpr std::uint64_t kChaseStrideWords = 1031;  ///< odd: full-cycle walk
+
+/// Per-thread pointer chase: `iters` dependent loads, each a cold miss on
+/// its own page, with nothing else to issue once the window fills — the
+/// long-latency regime the quiescence scheduler targets (remote misses on
+/// the high-end machine).
+isa::Program chase_program(std::uint64_t iters) {
+  isa::ProgramBuilder b("chase");
+  const isa::Reg p = b.ireg();
+  const isa::Reg cnt = b.ireg();
+  const isa::Reg region = b.ireg();
+  b.li(region, kChaseRegionBytes);
+  b.mul(region, b.tid(), region);
+  b.add(p, b.args(), region);
+  b.li(cnt, static_cast<std::int64_t>(iters));
+  const isa::Label loop = b.new_label();
+  b.bind(loop);
+  b.ld(p, p, 0);  // p = mem[p]: the serializing dependence
+  b.addi(cnt, cnt, -1);
+  b.bne(cnt, b.zero(), loop);
+  b.halt();
+  return b.take();
+}
+
+/// Lays out each thread's chain so every step lands on a fresh page.
+void init_chase_memory(mem::PagedMemory& memory, unsigned threads,
+                       std::uint64_t iters) {
+  for (unsigned t = 0; t < threads; ++t) {
+    const Addr base = kChaseBase + t * kChaseRegionBytes;
+    std::uint64_t cur = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const std::uint64_t next = (cur + kChaseStrideWords) % kChaseRegionWords;
+      memory.write(base + cur * 8, base + next * 8);
+      cur = next;
+    }
+  }
+}
+
+bool stats_match(const sim::RunStats& a, const sim::RunStats& b) {
+  return a.cycles == b.cycles && a.committed_useful == b.committed_useful &&
+         a.committed_sync == b.committed_sync && a.fetched == b.fetched &&
+         a.timed_out == b.timed_out &&
+         a.avg_running_threads == b.avg_running_threads &&
+         a.slots.total() == b.slots.total();
+}
+
+AbRow run_chase_point(core::ArchKind arch, unsigned chips,
+                      std::uint64_t iters) {
+  AbRow row;
+  row.name = "chase";
+  row.arch = core::arch_name(arch);
+  row.chips = chips;
+  sim::RunStats skip_stats, noskip_stats;
+  for (const bool no_skip : {false, true}) {
+    sim::MachineConfig mc;
+    mc.arch = core::arch_preset(arch);
+    mc.chips = chips;
+    mc.no_skip = no_skip;
+    sim::Machine machine(mc);
+    mem::PagedMemory memory;
+    init_chase_memory(memory, mc.total_threads(), iters);
+    const isa::Program program = chase_program(iters);
+    obs::WallTimer timer;
+    const sim::RunStats stats = machine.run(program, memory, kChaseBase);
+    const double secs = timer.elapsed_seconds();
+    if (no_skip) {
+      noskip_stats = stats;
+      row.noskip_seconds = secs;
+    } else {
+      skip_stats = stats;
+      row.skip_seconds = secs;
+      row.cycles = stats.cycles;
+      row.committed = stats.committed_useful + stats.committed_sync;
+      row.quiet_cycles = machine.quiet_cycles();
+    }
+  }
+  row.stats_equal = stats_match(skip_stats, noskip_stats);
+  return row;
+}
+
+AbRow run_workload_point(const std::string& workload, core::ArchKind arch,
+                         unsigned chips, unsigned scale) {
+  AbRow row;
+  row.name = workload;
+  row.arch = core::arch_name(arch);
+  row.chips = chips;
+  sim::ExperimentSpec spec;
+  spec.workload = workload;
+  spec.arch = arch;
+  spec.chips = chips;
+  spec.scale = scale;
+  const sim::ExperimentResult skip = sim::run_experiment(spec);
+  spec.no_skip = true;
+  const sim::ExperimentResult noskip = sim::run_experiment(spec);
+  row.cycles = skip.stats.cycles;
+  row.committed = skip.stats.committed_useful + skip.stats.committed_sync;
+  row.quiet_cycles = skip.sim_speed.quiet_cycles;
+  row.skip_seconds = skip.sim_speed.wall_seconds;
+  row.noskip_seconds = noskip.sim_speed.wall_seconds;
+  row.stats_equal = stats_match(skip.stats, noskip.stats);
+  return row;
+}
+
+void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
+  json::Value doc = json::Value::object();
+  doc["benchmark"] = std::string("micro_simspeed skip A/B");
+  json::Value points = json::Value::array();
+  for (const AbRow& r : rows) {
+    json::Value p = json::Value::object();
+    p["name"] = r.name;
+    p["arch"] = r.arch;
+    p["chips"] = static_cast<std::uint64_t>(r.chips);
+    p["cycles"] = r.cycles;
+    p["committed"] = r.committed;
+    p["quiet_cycles"] = r.quiet_cycles;
+    p["quiet_fraction"] = r.quiet_fraction();
+    p["skip_seconds"] = r.skip_seconds;
+    p["noskip_seconds"] = r.noskip_seconds;
+    p["skip_cycles_per_sec"] = r.skip_cps();
+    p["noskip_cycles_per_sec"] = r.noskip_cps();
+    p["speedup"] = r.speedup();
+    p["stats_equal"] = r.stats_equal;
+    points.push_back(std::move(p));
+  }
+  doc["points"] = std::move(points);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "micro_simspeed: cannot write '%s'\n", path.c_str());
+    return;
+  }
+  const std::string text = doc.dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "micro_simspeed: wrote %s (%zu points)\n", path.c_str(),
+               rows.size());
+}
+
+void run_skip_ab() {
+  std::string json_path = "BENCH_simspeed.json";
+  if (const char* p = std::getenv("CSMT_SIMSPEED_JSON")) json_path = p;
+
+  std::vector<AbRow> rows;
+  // High-end (4-chip) points first: the remote-miss regime the tentpole
+  // targets. The chase micro stresses pure dependent-miss quiescence; the
+  // registry workloads show what real kernels recover.
+  rows.push_back(run_chase_point(core::ArchKind::kFa1, 4, 20000));
+  rows.push_back(run_chase_point(core::ArchKind::kSmt2, 4, 8000));
+  rows.push_back(run_workload_point("mgrid", core::ArchKind::kFa1, 4, 2));
+  rows.push_back(run_workload_point("ocean", core::ArchKind::kSmt2, 4, 2));
+  // Low-end contrast point.
+  rows.push_back(run_chase_point(core::ArchKind::kSmt2, 1, 20000));
+
+  std::printf(
+      "\nskip-ahead A/B (quiescence scheduler vs --no-skip)\n"
+      "%-8s %-6s %5s %12s %8s %10s %10s %8s %6s\n",
+      "point", "arch", "chips", "cycles", "quiet%", "skip-cps", "noskip-cps",
+      "speedup", "equal");
+  for (const AbRow& r : rows) {
+    std::printf("%-8s %-6s %5u %12llu %7.1f%% %10.3e %10.3e %7.2fx %6s\n",
+                r.name.c_str(), r.arch.c_str(), r.chips,
+                static_cast<unsigned long long>(r.cycles),
+                100.0 * r.quiet_fraction(), r.skip_cps(), r.noskip_cps(),
+                r.speedup(), r.stats_equal ? "yes" : "NO");
+  }
+  if (!json_path.empty()) write_ab_json(json_path, rows);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_skip_ab();
+  return 0;
+}

@@ -86,6 +86,23 @@ class MemSys {
                   port);
   }
 
+  /// Earliest cycle > `now` at which in-flight work completes: the soonest
+  /// MSHR fill or bank-occupancy release. kNeverCycle when nothing is in
+  /// flight. The hierarchy is call-driven (state expires lazily on access),
+  /// so this is purely a horizon for the quiescence scheduler — skipping
+  /// past it is conservative, never unsound.
+  Cycle next_event(Cycle now) const {
+    Cycle ev = mshr_.next_ready(now);
+    const auto consider_banks = [&ev, now](const std::vector<Cycle>& busy) {
+      for (const Cycle b : busy) {
+        if (b > now && b < ev) ev = b;
+      }
+    };
+    for (const auto& banks : l1_bank_busy_) consider_banks(banks);
+    consider_banks(l2_bank_busy_);
+    return ev;
+  }
+
   // --- coherence entry points (called by the directory on the high end) ---
 
   /// Removes the line from L1+L2. Returns true if it was present;

@@ -35,6 +35,17 @@ class MshrFile {
     return kNeverCycle;
   }
 
+  /// Earliest ready cycle > `now` among outstanding misses, or kNeverCycle
+  /// when none is still in flight (the next-event contract: entries are
+  /// retired lazily, so an entry ready at or before `now` is already dead).
+  Cycle next_ready(Cycle now) const {
+    Cycle ev = kNeverCycle;
+    for (const auto& e : slots_) {
+      if (e.valid && e.ready > now && e.ready < ev) ev = e.ready;
+    }
+    return ev;
+  }
+
   /// Records a merge with an existing entry (statistics only).
   void note_merge() { ++stats_.merges; }
 

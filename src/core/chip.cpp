@@ -41,6 +41,28 @@ void Chip::tick(Cycle now) {
   for (auto& cl : clusters_) cl->tick(now);
 }
 
+bool Chip::active_last_tick() const {
+  for (const auto& cl : clusters_) {
+    if (cl->active_last_tick()) return true;
+  }
+  return false;
+}
+
+Cycle Chip::next_event(Cycle now) {
+  // Every cluster's next_event must run (it primes the quiet-tick plan),
+  // so no early-out on a now+1 horizon.
+  Cycle ev = memsys_.next_event(now);
+  for (auto& cl : clusters_) {
+    const Cycle c = cl->next_event(now);
+    if (c < ev) ev = c;
+  }
+  return ev;
+}
+
+void Chip::quiet_tick(Cycle now) {
+  for (auto& cl : clusters_) cl->quiet_tick(now);
+}
+
 bool Chip::finished() const {
   for (const auto& cl : clusters_) {
     if (!cl->finished()) return false;

@@ -36,6 +36,19 @@ class Chip {
   /// Advances every cluster by one cycle.
   void tick(Cycle now);
 
+  /// True when any cluster changed observable state in the tick at `now`.
+  bool active_last_tick() const;
+
+  /// Earliest cycle > `now` at which a full tick could change observable
+  /// state: the minimum of the clusters' horizons and the memory system's
+  /// earliest in-flight completion. See Cluster::next_event for the
+  /// contract; like it, this primes the clusters' quiet-tick plans.
+  Cycle next_event(Cycle now);
+
+  /// Replays per-cycle accounting on every cluster for one cycle of a
+  /// machine-wide quiescent span.
+  void quiet_tick(Cycle now);
+
   bool finished() const;
 
   /// Threads running for the Figure 6 metric (not halted, not spinning).

@@ -120,6 +120,9 @@ void Cluster::tick(Cycle now) {
   const std::uint64_t committed_before =
       stats_.committed_useful + stats_.committed_sync;
   const std::uint64_t fetched_before = stats_.fetched;
+  const std::uint64_t issued_before = stats_.issued;
+  const std::uint64_t rejected_before = stats_.mem_rejections;
+  active_ = false;
   {
     obs::ScopedPhase p(prof_, obs::Phase::kCommit);
     commit(now);
@@ -134,7 +137,167 @@ void Cluster::tick(Cycle now) {
   }
   account(now);
   ++stats_.cycles;
+  // Any commit, issue, fetch, memory-system access (accepted or rejected),
+  // or sync-wake assignment means next cycle's tick may differ from this
+  // one: the cluster is active and must be stepped for real.
+  active_ = active_ ||
+            committed_before != stats_.committed_useful + stats_.committed_sync ||
+            fetched_before != stats_.fetched ||
+            issued_before != stats_.issued ||
+            rejected_before != stats_.mem_rejections;
   if (trace_) trace_cycle(now, committed_before, fetched_before);
+}
+
+Cycle Cluster::next_event(Cycle now) {
+  if (active_) return now + 1;
+  const Cycle next = now + 1;
+  Cycle ev = kNeverCycle;
+  const auto consider = [&ev, next](Cycle c) {
+    if (c < next) c = next;
+    if (c < ev) ev = c;
+  };
+  for (const ThreadSlot& t : threads_) {
+    if (!t.rob.empty()) {
+      const Uop& head = slots_[t.rob.front()];
+      // The ROB head commits the cycle it completes; younger completions
+      // are passive until then (dependents are handled by the IQ scan).
+      if (head.issued) consider(head.complete_at);
+    }
+    if (!t.tc || t.tc->done()) continue;
+    if (t.tc->sync_blocked()) {
+      // Only another cluster's full tick can release this thread, and that
+      // tick is active, so the scheduler re-evaluates horizons then. The
+      // one self-event is latching was_sync_blocked on the next tick.
+      if (!t.was_sync_blocked) return next;
+      continue;
+    }
+    if (t.was_sync_blocked) return next;  // wake_at assignment pending
+    if (next < t.wake_at) {
+      consider(t.wake_at);  // paying the sync wake latency
+      continue;
+    }
+    if (mispredict_blocked(t, next)) {
+      const Uop& b = slots_[t.blocked_on];
+      // Fetch resumes the cycle after the branch resolves; an unissued
+      // branch is gated by its operands via the IQ scan.
+      if (b.issued) consider(b.complete_at + 1);
+      continue;
+    }
+    if (has_dispatch_room(t)) return next;  // would fetch next cycle
+    // No dispatch room: only a commit or issue (events above/below) frees
+    // it, so this thread contributes no horizon of its own.
+  }
+  for (const std::uint16_t idx : iq_) {
+    const Uop& u = slots_[idx];
+    bool known = true;
+    Cycle issuable_at = next;
+    for (const SrcDep& dep : u.src) {
+      if (dep.producer == kNoUop) continue;
+      const Uop& p = slots_[dep.producer];
+      if (!p.live || p.gen != dep.gen) continue;  // already satisfied
+      if (!p.issued) {
+        // The producer's own issue is a separate event (it is in the IQ
+        // too, and the dependence graph bottoms out at a known uop).
+        known = false;
+        continue;
+      }
+      // src_ready() flips — and the stall histogram with it — the cycle
+      // the producer completes, so every such flip bounds the span even
+      // when the uop still cannot issue.
+      if (p.complete_at > now) consider(p.complete_at);
+      if (p.complete_at > issuable_at) issuable_at = p.complete_at;
+    }
+    if (known && issuable_at <= next) return next;  // issuable: full tick
+  }
+  if (ev > next) prime_quiet_plan(now);
+  return ev;
+}
+
+void Cluster::prime_quiet_plan(Cycle now) {
+  // Every predicate below is constant across the whole quiescent span
+  // (next_event() ends the span at the first cycle any of them flips), so
+  // evaluating at the first skipped cycle stands for all of them.
+  const Cycle q = now + 1;
+  double hist[kNumSlots] = {};
+  // issue()'s stall histogram: during a quiescent span every IQ entry is
+  // operand-stalled, in the same short-circuit order as issue().
+  for (const std::uint16_t idx : iq_) {
+    const Uop& u = slots_[idx];
+    Slot hz = Slot::kData;
+    const bool ready =
+        src_ready(u.src[0], q, &hz) && src_ready(u.src[1], q, &hz);
+    CSMT_ASSERT_MSG(!ready, "issuable uop inside a quiescent span");
+    hist[static_cast<std::size_t>(u.dyn.sync_tagged() ? Slot::kSync : hz)] +=
+        1.0;
+  }
+  // account()'s per-thread contributions, plus fetch()'s two dispatch-stall
+  // checks (the round-robin "selected thread lacks room" check and the
+  // chosen<0 fallback scan).
+  quiet_fallback_stall_ = false;
+  quiet_stall_if_selected_.assign(threads_.size(), 0);
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    const ThreadSlot& t = threads_[i];
+    if (!t.tc || t.tc->done()) continue;
+    if (sync_waiting(t, q)) {
+      hist[static_cast<std::size_t>(Slot::kSync)] += 1.0;
+    } else if (mispredict_blocked(t, q)) {
+      hist[static_cast<std::size_t>(t.blocked_sync ? Slot::kSync
+                                                   : Slot::kControl)] += 1.0;
+    } else if (t.window_count == 0) {
+      hist[static_cast<std::size_t>(Slot::kFetch)] += 1.0;
+    }
+    if (!has_dispatch_room(t)) {
+      quiet_stall_if_selected_[i] = 1;
+      if (!mispredict_blocked(t, q)) quiet_fallback_stall_ = true;
+    }
+  }
+  // account()'s wasted-slot distribution with zero issues, in both the
+  // stalled and unstalled variants. The expressions match account()
+  // exactly, so adding a delta per skipped cycle reproduces the per-cycle
+  // accumulator bit for bit.
+  const double wasted = static_cast<double>(cfg_.width);
+  for (int v = 0; v < 2; ++v) {
+    double h[kNumSlots];
+    for (std::size_t i = 0; i < kNumSlots; ++i) h[i] = hist[i];
+    if (v == 1) h[static_cast<std::size_t>(Slot::kOther)] += 1.0;
+    double total = 0.0;
+    for (const double x : h) total += x;
+    for (std::size_t i = 0; i < kNumSlots; ++i) quiet_delta_[v][i] = 0.0;
+    if (total <= 0.0) {
+      quiet_delta_[v][static_cast<std::size_t>(Slot::kFetch)] = wasted;
+    } else {
+      for (std::size_t i = 0; i < kNumSlots; ++i) {
+        quiet_delta_[v][i] = wasted * h[i] / total;
+      }
+    }
+  }
+}
+
+void Cluster::quiet_tick(Cycle now) {
+  bool stalled = quiet_fallback_stall_;
+  if (!threads_.empty()) {
+    if (policy_ == FetchPolicy::kRoundRobin) {
+      // Strict RR burns a turn on the first live thread even when stalled;
+      // replay the pointer rotation (the other policies only move it on a
+      // successful fetch, which a quiescent span excludes).
+      const unsigned n = static_cast<unsigned>(threads_.size());
+      for (unsigned k = 0; k < n; ++k) {
+        const unsigned cand = (fetch_rr_ + k) % n;
+        const ThreadSlot& t = threads_[cand];
+        if (t.tc && !t.tc->done()) {
+          fetch_rr_ = cand + 1;
+          if (quiet_stall_if_selected_[cand]) stalled = true;
+          break;
+        }
+      }
+    }
+    ++commit_rr_;  // commit() advances its start pointer every cycle
+  }
+  const double* d = quiet_delta_[stalled ? 1 : 0];
+  for (std::size_t i = 0; i < kNumSlots; ++i) stats_.slots.slots[i] += d[i];
+  if (stalled) ++stats_.dispatch_stall_cycles;
+  ++stats_.cycles;
+  if (trace_ && stalled) trace_->instant(track_, "dispatch_stall", now);
 }
 
 std::uint8_t Cluster::thread_state(const ThreadSlot& t, Cycle now) const {
@@ -314,6 +477,7 @@ void Cluster::fetch(Cycle now) {
     } else if (t.was_sync_blocked) {
       t.was_sync_blocked = false;
       t.wake_at = now + cfg_.sync_wake_latency;
+      active_ = true;  // wake horizon changed: recompute next_event
     }
   }
 

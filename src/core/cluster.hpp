@@ -80,6 +80,28 @@ class Cluster {
   /// issue-slot accounting (§4.1).
   void tick(Cycle now);
 
+  /// True when the tick at `now` changed observable state (fetched, issued,
+  /// committed, touched the memory system, or started a sync wakeup). An
+  /// active cluster must be ticked again next cycle.
+  bool active_last_tick() const { return active_; }
+
+  /// Earliest cycle > `now` at which a full tick() could change observable
+  /// state, assuming no external input (another cluster waking one of our
+  /// sync-blocked threads is external; the scheduler re-evaluates after
+  /// every full tick, so such wakes are always observed). kNeverCycle when
+  /// nothing in flight can ever make progress on its own. Must be called
+  /// right after tick(now); when the horizon is beyond now+1 this also
+  /// primes the quiet-tick replay plan for the span (now, horizon).
+  Cycle next_event(Cycle now);
+
+  /// Replays the per-cycle accounting of tick(now) for a cycle inside a
+  /// quiescent span: the commit/fetch round-robin pointers advance and the
+  /// slot/stat accumulators receive bit-identical increments, but no
+  /// pipeline work is attempted (none is possible, by construction of
+  /// next_event()). Valid only for cycles strictly before the horizon the
+  /// last next_event() call returned.
+  void quiet_tick(Cycle now);
+
   /// True when every attached thread has halted and the pipeline is empty.
   bool finished() const;
 
@@ -156,6 +178,13 @@ class Cluster {
   std::uint16_t alloc_slot();
   void free_slot(std::uint16_t idx);
 
+  /// Precomputes what a tick would add to the accumulators during the
+  /// quiescent span starting at now+1: the per-slot wasted-issue deltas
+  /// (with and without a dispatch stall) and the fetch-stage stall
+  /// bookkeeping. Every input to these expressions is constant across the
+  /// span, so quiet_tick() can replay them bit-identically.
+  void prime_quiet_plan(Cycle now);
+
   ClusterId id_;
   ClusterConfig cfg_;
   FetchPolicy policy_;
@@ -180,6 +209,13 @@ class Cluster {
   unsigned issued_useful_ = 0;
   unsigned issued_sync_ = 0;
   bool dispatch_stalled_ = false;
+
+  // Quiescence state: activity flag maintained by tick(), and the replay
+  // plan primed by next_event() for quiet_tick() (see prime_quiet_plan).
+  bool active_ = true;
+  double quiet_delta_[2][kNumSlots] = {};  ///< [dispatch_stalled][slot]
+  bool quiet_fallback_stall_ = false;      ///< fetch()'s chosen<0 stall scan
+  std::vector<char> quiet_stall_if_selected_;  ///< per-thread RR stall check
 
   ClusterStats stats_;
 };

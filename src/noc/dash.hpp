@@ -53,6 +53,22 @@ class DashInterconnect final : public cache::MemoryBackend {
   Cycle upgrade_line(ChipId chip, Addr line_addr, Cycle t_request) override;
   void writeback_line(ChipId chip, Addr line_addr, Cycle t) override;
 
+  /// Earliest cycle > `now` at which an in-flight directory or memory-
+  /// controller occupancy drains, or kNeverCycle when all ports are idle.
+  /// Like MemSys::next_event this is a conservative horizon for the
+  /// quiescence scheduler: the interconnect is call-driven, so nothing
+  /// happens at that cycle unless a chip issues a request.
+  Cycle next_event(Cycle now) const {
+    Cycle ev = kNeverCycle;
+    for (const Cycle b : dir_busy_) {
+      if (b > now && b < ev) ev = b;
+    }
+    for (const Cycle b : mem_busy_) {
+      if (b > now && b < ev) ev = b;
+    }
+    return ev;
+  }
+
   const DashStats& stats() const { return stats_; }
   const NetworkStats& network_stats() const { return net_.stats(); }
   const Directory& directory() const { return dir_; }

@@ -100,9 +100,21 @@ struct SimSpeed {
   bool measured = false;
   double wall_seconds = 0.0;
   std::uint64_t sim_cycles = 0;
+  /// Simulated cycles the scheduler advanced through its quiet path
+  /// (idle-cycle skipping, DESIGN.md §8). Deterministic for a given spec,
+  /// but an execution-strategy detail rather than a machine statistic, so
+  /// it lives here and not in RunStats.
+  std::uint64_t quiet_cycles = 0;
   std::uint64_t committed = 0;  ///< useful + sync instructions
   bool phases_measured = false;
   std::array<double, kNumPhases> phase_seconds = {};
+
+  /// Fraction of simulated cycles handled by the quiet path.
+  double quiet_fraction() const {
+    return sim_cycles ? static_cast<double>(quiet_cycles) /
+                            static_cast<double>(sim_cycles)
+                      : 0.0;
+  }
 
   double cycles_per_sec() const {
     return wall_seconds > 0 ? static_cast<double>(sim_cycles) / wall_seconds

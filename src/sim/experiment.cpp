@@ -19,6 +19,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (spec.l1_private) mc.mem.l1_private = *spec.l1_private;
   mc.chips = spec.chips;
   mc.metrics_interval = spec.metrics_interval;
+  mc.no_skip = spec.no_skip;
 
   std::optional<obs::ChromeTraceWriter> writer;
   if (!spec.trace_path.empty()) {
@@ -50,6 +51,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   result.sim_speed.measured = true;
   result.sim_speed.sim_cycles = result.stats.cycles;
+  result.sim_speed.quiet_cycles = machine.quiet_cycles();
   result.sim_speed.committed =
       result.stats.committed_useful + result.stats.committed_sync;
   if (spec.profile_phases) {

@@ -35,6 +35,10 @@ struct ExperimentSpec {
   std::string trace_path;
   /// Record the per-phase host-time breakdown in the result's SimSpeed.
   bool profile_phases = false;
+  /// Force the per-cycle kernel (no idle-cycle skipping, DESIGN.md §8).
+  /// Excluded from identity like the other knobs here: the two kernels
+  /// produce bit-identical RunStats, they just spend different host time.
+  bool no_skip = false;
 
   /// Specs are value types; equality is what the sweep cache keys on.
   /// trace_path and profile_phases are deliberately not compared: two runs

@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include "common/assert.hpp"
+#include "sim/scheduler.hpp"
 
 namespace csmt::sim {
 
@@ -79,46 +80,18 @@ RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
     chips_[t / per_chip]->attach_thread(&group.thread(t));
   }
 
-  RunStats out;
-  Cycle now = 0;
-  double running_accum = 0.0;
+  obs::EpochSampler sampler(cfg_.metrics_interval);
+  Scheduler sched(*this, sampler);
   if (cfg_.trace) {
-    group.sync().set_trace(cfg_.trace, &now);
+    group.sync().set_trace(cfg_.trace, sched.clock());
     trace_name_sync_tracks(group);
   }
-  obs::EpochSampler sampler(cfg_.metrics_interval);
-  std::int64_t last_running_traced = -1;
-  while (true) {
-    bool finished = true;
-    for (auto& chip : chips_) {
-      if (!chip->finished()) {
-        finished = false;
-        break;
-      }
-    }
-    if (finished) break;
-    if (now >= cfg_.max_cycles) {
-      out.timed_out = true;
-      break;
-    }
-    for (auto& chip : chips_) chip->tick(now);
-    unsigned running = 0;
-    for (const auto& chip : chips_) running += chip->running_threads();
-    running_accum += running;
-    if (cfg_.trace && running != last_running_traced) {
-      cfg_.trace->counter({0, 0}, "running_threads", now, running);
-      last_running_traced = running;
-    }
-    ++now;
-    if (sampler.enabled()) {
-      sampler.note_running(running);
-      if (sampler.due(now)) sampler.close(now, snapshot_counters());
-    }
-  }
+  const Scheduler::Result r = sched.run();
 
-  if (cfg_.trace) trace_flush(now);
-  sampler.finish(now, snapshot_counters());
-  out = collect_stats(now, running_accum, out.timed_out);
+  if (cfg_.trace) trace_flush(r.cycles);
+  sampler.finish(r.cycles, snapshot_counters());
+  quiet_cycles_ = sched.quiet_cycles();
+  RunStats out = collect_stats(r.cycles, r.running_accum, r.timed_out);
   out.epochs = sampler.take();
   return out;
 }
@@ -164,50 +137,68 @@ MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
 
   MultiRunStats out;
   out.job_finish.assign(jobs.size(), 0);
-  Cycle now = 0;
-  double running_accum = 0.0;
-  bool timed_out = false;
+  obs::EpochSampler sampler(cfg_.metrics_interval);
+  Scheduler sched(*this, sampler);
   if (cfg_.trace) {
     for (auto& g : groups) {
-      g->sync().set_trace(cfg_.trace, &now);
+      g->sync().set_trace(cfg_.trace, sched.clock());
       trace_name_sync_tracks(*g);
     }
   }
-  obs::EpochSampler sampler(cfg_.metrics_interval);
-  while (true) {
-    bool finished = true;
-    for (auto& chip : chips_) {
-      if (!chip->finished()) {
-        finished = false;
-        break;
-      }
-    }
-    if (finished) break;
-    if (now >= cfg_.max_cycles) {
-      timed_out = true;
-      break;
-    }
-    for (auto& chip : chips_) chip->tick(now);
-    unsigned running = 0;
-    for (const auto& chip : chips_) running += chip->running_threads();
-    running_accum += running;
-    ++now;
-    if (sampler.enabled()) {
-      sampler.note_running(running);
-      if (sampler.due(now)) sampler.close(now, snapshot_counters());
-    }
+  // A job can only finish on a full tick (its last thread has to fetch a
+  // halt), so the per-tick hook observes every completion exactly when the
+  // per-cycle kernel did.
+  const Scheduler::Result r = sched.run([&](Cycle now) {
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       if (out.job_finish[j] == 0 && groups[j]->all_done()) {
         out.job_finish[j] = now;
       }
     }
-  }
-  if (cfg_.trace) trace_flush(now);
-  sampler.finish(now, snapshot_counters());
-  out.makespan = now;
-  out.combined = collect_stats(now, running_accum, timed_out);
+  });
+  if (cfg_.trace) trace_flush(r.cycles);
+  sampler.finish(r.cycles, snapshot_counters());
+  quiet_cycles_ = sched.quiet_cycles();
+  out.makespan = r.cycles;
+  out.combined = collect_stats(r.cycles, r.running_accum, r.timed_out);
   out.combined.epochs = sampler.take();
   return out;
+}
+
+bool Machine::all_finished() const {
+  for (const auto& chip : chips_) {
+    if (!chip->finished()) return false;
+  }
+  return true;
+}
+
+void Machine::tick_chips(Cycle now) {
+  for (auto& chip : chips_) chip->tick(now);
+}
+
+unsigned Machine::running_now() const {
+  unsigned running = 0;
+  for (const auto& chip : chips_) running += chip->running_threads();
+  return running;
+}
+
+bool Machine::any_chip_active() const {
+  for (const auto& chip : chips_) {
+    if (chip->active_last_tick()) return true;
+  }
+  return false;
+}
+
+Cycle Machine::next_event(Cycle now) {
+  Cycle ev = dash_ ? dash_->next_event(now) : kNeverCycle;
+  for (auto& chip : chips_) {
+    const Cycle c = chip->next_event(now);
+    if (c < ev) ev = c;
+  }
+  return ev;
+}
+
+void Machine::quiet_tick_chips(Cycle now) {
+  for (auto& chip : chips_) chip->quiet_tick(now);
 }
 
 RunStats Machine::collect_stats(Cycle now, double running_accum,

@@ -27,6 +27,12 @@ struct MachineConfig {
   /// Watchdog: abort the run (timed_out=true) after this many cycles.
   Cycle max_cycles = 500'000'000;
 
+  /// Force the per-cycle kernel: disable the scheduler's idle-cycle
+  /// skipping (DESIGN.md §8). RunStats, epochs, and traces are
+  /// bit-identical either way — this is the A/B verification escape hatch,
+  /// not a fidelity knob.
+  bool no_skip = false;
+
   // --- observability (all off by default; RunStats counters are
   // bit-identical with these on or off, see DESIGN.md §7) ---
   /// Event sink for the whole machine; not owned, must outlive the machine.
@@ -121,8 +127,26 @@ class Machine {
   core::Chip& chip(unsigned i) { return *chips_[i]; }
   unsigned num_chips() const { return static_cast<unsigned>(chips_.size()); }
 
+  /// Simulated cycles the last run()/run_jobs() advanced through the
+  /// scheduler's quiet path (0 with no_skip). Observability only — it
+  /// feeds SimSpeed, never RunStats.
+  Cycle quiet_cycles() const { return quiet_cycles_; }
+
  private:
+  friend class Scheduler;
+
   RunStats collect_stats(Cycle cycles, double running_accum, bool timed_out);
+
+  // --- Scheduler-facing stepping interface ---
+  bool all_finished() const;
+  void tick_chips(Cycle now);
+  /// Running-thread count after the last tick (constant across a span).
+  unsigned running_now() const;
+  bool any_chip_active() const;
+  /// Machine-wide horizon: min over chips and the interconnect. `now` is
+  /// the cycle of the tick just executed.
+  Cycle next_event(Cycle now);
+  void quiet_tick_chips(Cycle now);
 
   /// Cumulative machine-wide counters for the epoch sampler.
   obs::EpochCounters snapshot_counters() const;
@@ -135,6 +159,7 @@ class Machine {
   std::unique_ptr<cache::LocalMemoryBackend> local_backend_;
   std::unique_ptr<noc::DashInterconnect> dash_;
   std::vector<std::unique_ptr<core::Chip>> chips_;
+  Cycle quiet_cycles_ = 0;
 };
 
 }  // namespace csmt::sim

@@ -250,6 +250,7 @@ json::Value to_json(const ExperimentResult& r) {
     json::Value speed = json::Value::object();
     speed["wall_seconds"] = r.sim_speed.wall_seconds;
     speed["sim_cycles"] = r.sim_speed.sim_cycles;
+    speed["quiet_cycles"] = r.sim_speed.quiet_cycles;
     speed["committed"] = r.sim_speed.committed;
     speed["cycles_per_sec"] = r.sim_speed.cycles_per_sec();  // derived
     speed["committed_kips"] = r.sim_speed.committed_kips();  // derived
@@ -410,6 +411,9 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
       r.sim_speed.wall_seconds = c->as_number();
     if (const json::Value* c = speed->find("sim_cycles"))
       r.sim_speed.sim_cycles = c->as_u64();
+    // Absent in artifacts written before the quiescence kernel: keep 0.
+    if (const json::Value* c = speed->find("quiet_cycles"))
+      r.sim_speed.quiet_cycles = c->as_u64();
     if (const json::Value* c = speed->find("committed"))
       r.sim_speed.committed = c->as_u64();
     if (const json::Value* phases = speed->find("phase_seconds")) {

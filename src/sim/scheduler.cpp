@@ -1,0 +1,58 @@
+#include "sim/scheduler.hpp"
+
+#include "sim/machine.hpp"
+
+namespace csmt::sim {
+
+Scheduler::Result Scheduler::run(
+    const std::function<void(Cycle)>& after_tick) {
+  const MachineConfig& cfg = m_.config();
+  Result out;
+  std::int64_t last_running_traced = -1;
+  while (true) {
+    if (m_.all_finished()) break;
+    if (now_ >= cfg.max_cycles) {
+      out.timed_out = true;
+      break;
+    }
+    m_.tick_chips(now_);
+    const unsigned running = m_.running_now();
+    out.running_accum += running;
+    if (cfg.trace && running != last_running_traced) {
+      cfg.trace->counter({0, 0}, "running_threads", now_, running);
+      last_running_traced = running;
+    }
+    ++now_;
+    if (sampler_.enabled()) {
+      sampler_.note_running(running);
+      if (sampler_.due(now_)) sampler_.close(now_, m_.snapshot_counters());
+    }
+    if (after_tick) after_tick(now_);
+
+    if (cfg.no_skip) continue;
+    if (m_.any_chip_active()) continue;
+    if (m_.all_finished()) continue;  // drained: let the loop header exit
+    // The whole machine is quiescent: every live thread is blocked on a
+    // completion, wake, or release with a known (or externally-driven)
+    // horizon. Skip to the earliest horizon — clamped to the watchdog, so
+    // a deadlocked machine times out at exactly max_cycles — replaying
+    // each skipped cycle's accounting through the cheap quiet path. The
+    // running-thread count is constant across the span by construction.
+    const Cycle horizon = m_.next_event(now_ - 1);
+    const Cycle stop = horizon < cfg.max_cycles ? horizon : cfg.max_cycles;
+    while (now_ < stop) {
+      m_.quiet_tick_chips(now_);
+      out.running_accum += running;
+      ++quiet_cycles_;
+      ++now_;
+      if (sampler_.enabled()) {
+        sampler_.note_running(running);
+        if (sampler_.due(now_)) sampler_.close(now_, m_.snapshot_counters());
+      }
+    }
+  }
+  out.cycles = now_;
+  return out;
+}
+
+}  // namespace csmt::sim

@@ -1,0 +1,63 @@
+// Scheduler: the quiescence-aware simulation kernel (DESIGN.md §8).
+//
+// The machine loop used to tick every cluster on every simulated cycle,
+// even when every thread was blocked on an outstanding miss, paying a sync
+// wake latency, or halted. The scheduler keeps the per-cycle tick as the
+// ground truth but, whenever a full tick changes nothing observable
+// (no fetch/issue/commit/memory access/wake anywhere), asks every
+// component for the next cycle at which it could make progress
+// (`next_event(now)`) and replays the in-between cycles through the
+// components' quiet-tick paths — which reproduce the round-robin pointer
+// rotation and the per-cycle accounting bit for bit, at a fraction of the
+// cost. RunStats, epoch samples, and traces are therefore identical to the
+// per-cycle kernel; MachineConfig::no_skip forces the old stepping for A/B
+// verification.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace csmt::sim {
+
+class Machine;
+
+class Scheduler {
+ public:
+  /// What one run produced, in the units the machine's stat collection
+  /// wants: total simulated cycles, the per-cycle running-thread integral,
+  /// and whether the watchdog fired.
+  struct Result {
+    Cycle cycles = 0;
+    double running_accum = 0.0;
+    bool timed_out = false;
+  };
+
+  Scheduler(Machine& machine, obs::EpochSampler& sampler)
+      : m_(machine), sampler_(sampler) {}
+
+  /// The live machine clock, for timestamping events raised from inside a
+  /// tick (sync tracing). Stable for the scheduler's lifetime.
+  const Cycle* clock() const { return &now_; }
+
+  /// Simulated cycles advanced through the quiet path (0 with no_skip).
+  /// Observability only: it never feeds RunStats.
+  Cycle quiet_cycles() const { return quiet_cycles_; }
+
+  /// Runs the machine to completion or to the max_cycles watchdog —
+  /// skipping clamps to max_cycles exactly, so a timed-out run reports the
+  /// same cycle count either way. `after_tick` (optional) runs after every
+  /// full tick with the post-increment clock; quiescent spans cannot
+  /// change what it observes (nothing fetches, so no thread halts), so it
+  /// is not called for skipped cycles.
+  Result run(const std::function<void(Cycle)>& after_tick = {});
+
+ private:
+  Machine& m_;
+  obs::EpochSampler& sampler_;
+  Cycle now_ = 0;
+  Cycle quiet_cycles_ = 0;
+};
+
+}  // namespace csmt::sim

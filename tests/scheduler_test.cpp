@@ -1,0 +1,207 @@
+// Kernel-equivalence tests for the quiescence-aware scheduler (DESIGN.md
+// §8): the skip-ahead kernel must produce bit-identical results to the
+// per-cycle kernel — same RunStats, same epoch series, same trace counters,
+// same timeout clamp. Comparison goes through render_json so every counter
+// (including the FP slot histogram and avg_running_threads) is compared at
+// full serialized precision.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exec/thread_group.hpp"
+#include "isa/builder.hpp"
+#include "obs/trace.hpp"
+#include "sim/experiment.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "workloads/workload.hpp"
+
+namespace csmt::sim {
+namespace {
+
+using isa::ProgramBuilder;
+
+/// Serializes a result with the host-dependent speed block zeroed, so two
+/// runs compare byte-for-byte on simulated state only. The spec's no_skip
+/// knob is excluded from serialization (like trace_path), so skip and
+/// no-skip renderings are directly comparable.
+std::string stats_json(ExperimentResult r) {
+  r.sim_speed = {};
+  return render_json({std::move(r)});
+}
+
+/// Wraps a bare RunStats for Machine-level (non-run_experiment) tests.
+std::string stats_json(const RunStats& stats) {
+  ExperimentResult r;
+  r.spec.workload = "direct";
+  r.stats = stats;
+  return stats_json(std::move(r));
+}
+
+TEST(KernelEquivalence, WorkloadGridIsBitIdentical) {
+  // The ISSUE grid: {FA1, FA2, SMT2, SMT4} x {low-end, high-end} x three
+  // workloads, with interval metrics on so the epoch series is covered.
+  const std::vector<core::ArchKind> archs = {
+      core::ArchKind::kFa1, core::ArchKind::kFa2, core::ArchKind::kSmt2,
+      core::ArchKind::kSmt4};
+  const std::vector<std::string> workloads = {"swim", "mgrid", "ocean"};
+  for (const unsigned chips : {1u, 4u}) {
+    for (const core::ArchKind arch : archs) {
+      for (const std::string& wl : workloads) {
+        ExperimentSpec spec;
+        spec.workload = wl;
+        spec.arch = arch;
+        spec.chips = chips;
+        spec.scale = 1;
+        spec.metrics_interval = 128;
+
+        spec.no_skip = false;
+        const ExperimentResult fast = run_experiment(spec);
+        spec.no_skip = true;
+        const ExperimentResult slow = run_experiment(spec);
+
+        EXPECT_TRUE(fast.validated);
+        EXPECT_EQ(slow.sim_speed.quiet_cycles, 0u);
+        EXPECT_EQ(stats_json(fast), stats_json(slow))
+            << wl << " " << core::arch_name(arch) << " chips=" << chips;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, RunJobsMixIsBitIdentical) {
+  auto run_mix = [](bool no_skip) {
+    MachineConfig mc;
+    mc.arch = core::arch_preset(core::ArchKind::kSmt2);
+    mc.no_skip = no_skip;
+    Machine machine(mc);
+    const auto wla = workloads::make_workload("vpenta");
+    const auto wlb = workloads::make_workload("fmm");
+    mem::PagedMemory mem_a, mem_b;
+    const auto ba = wla->build(mem_a, 4, 1);
+    const auto bb = wlb->build(mem_b, 4, 1);
+    const std::vector<Job> jobs = {
+        {&ba.program, &mem_a, ba.args_base, 4},
+        {&bb.program, &mem_b, bb.args_base, 4},
+    };
+    return machine.run_jobs(jobs);
+  };
+  const MultiRunStats fast = run_mix(false);
+  const MultiRunStats slow = run_mix(true);
+  EXPECT_EQ(fast.makespan, slow.makespan);
+  EXPECT_EQ(fast.job_finish, slow.job_finish);
+  EXPECT_EQ(stats_json(fast.combined), stats_json(slow.combined));
+}
+
+TEST(KernelEquivalence, DeadlockClampsToMaxCyclesExactly) {
+  // Every thread arrives at a barrier expecting one participant more than
+  // exists: the machine quiesces forever, the skip horizon is "never", and
+  // the clamp must stop at exactly max_cycles in both kernels (satellite 6
+  // semantics — the watchdog is part of the bit-identical contract).
+  constexpr Cycle kWatchdog = 4096;
+  auto run_deadlock = [](bool no_skip) {
+    MachineConfig mc;
+    mc.arch = core::arch_preset(core::ArchKind::kSmt2);
+    mc.max_cycles = kWatchdog;
+    mc.no_skip = no_skip;
+    Machine machine(mc);
+    ProgramBuilder b("deadlock");
+    isa::Reg bar = b.ireg(), n = b.ireg();
+    b.li(bar, 64);
+    b.li(n, mc.total_threads() + 1);  // one participant too many
+    b.barrier(bar, n);
+    b.halt();
+    mem::PagedMemory memory;
+    return machine.run(b.take(), memory, 0);
+  };
+  const RunStats fast = run_deadlock(false);
+  const RunStats slow = run_deadlock(true);
+  EXPECT_TRUE(fast.timed_out);
+  EXPECT_TRUE(slow.timed_out);
+  EXPECT_EQ(fast.cycles, kWatchdog);
+  EXPECT_EQ(slow.cycles, kWatchdog);
+  EXPECT_EQ(stats_json(fast), stats_json(slow));
+}
+
+/// Chrome-trace counter samples for `name`, in file order. Counter records
+/// are single-line objects, so line filtering is sufficient.
+std::vector<std::string> counter_lines(const std::string& path,
+                                       const std::string& name) {
+  std::ifstream in(path);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"ph\":\"C\"") == std::string::npos) continue;
+    if (line.find("\"" + name + "\"") == std::string::npos) continue;
+    // Strip record separators so run/run_jobs files compare cleanly.
+    if (!line.empty() && line.front() == ',') line.erase(0, 1);
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    out.push_back(line);
+  }
+  return out;
+}
+
+TEST(KernelEquivalence, RunJobsTracesRunningThreadsLikeRun) {
+  // Satellite 1: run() and run_jobs() share one scheduler loop, so a
+  // single-job mix must emit the exact running_threads counter series a
+  // plain run of the same program does.
+  ProgramBuilder b("loop");
+  isa::Reg r = b.ireg(), i = b.ireg(), n = b.ireg();
+  b.li(r, 1);
+  b.li(n, 300);
+  b.for_range(i, 0, n, 1, [&] { b.add(r, r, r); });
+  b.halt();
+  const isa::Program p = b.take();
+
+  MachineConfig mc;
+  mc.arch = core::arch_preset(core::ArchKind::kFa2);
+
+  const std::string run_path = ::testing::TempDir() + "csmt_run_trace.json";
+  {
+    obs::ChromeTraceWriter writer(run_path);
+    ASSERT_TRUE(writer.ok());
+    MachineConfig traced = mc;
+    traced.trace = &writer;
+    Machine machine(traced);
+    mem::PagedMemory memory;
+    machine.run(p, memory, 0);
+    writer.finish();
+  }
+
+  const std::string jobs_path = ::testing::TempDir() + "csmt_jobs_trace.json";
+  {
+    obs::ChromeTraceWriter writer(jobs_path);
+    ASSERT_TRUE(writer.ok());
+    MachineConfig traced = mc;
+    traced.trace = &writer;
+    Machine machine(traced);
+    mem::PagedMemory memory;
+    machine.run_jobs({{&p, &memory, 0, traced.total_threads()}});
+    writer.finish();
+  }
+
+  const auto from_run = counter_lines(run_path, "running_threads");
+  const auto from_jobs = counter_lines(jobs_path, "running_threads");
+  EXPECT_FALSE(from_run.empty());
+  EXPECT_EQ(from_run, from_jobs);
+}
+
+TEST(Scheduler, QuietCyclesEngageOnSyncHeavyPoints) {
+  // The skip path must actually fire where it matters: a high-end sync-
+  // heavy point spends a measurable fraction of cycles quiescent.
+  ExperimentSpec spec;
+  spec.workload = "ocean";
+  spec.arch = core::ArchKind::kSmt2;
+  spec.chips = 4;
+  spec.scale = 1;
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_TRUE(r.validated);
+  EXPECT_GT(r.sim_speed.quiet_cycles, 0u);
+  EXPECT_GT(r.sim_speed.quiet_fraction(), 0.0);
+  EXPECT_LT(r.sim_speed.quiet_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace csmt::sim

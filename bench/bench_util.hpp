@@ -11,18 +11,128 @@
 #pragma once
 
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#include "isa/builder.hpp"
+#include "mem/paged_memory.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sweep/sweep.hpp"
 #include "workloads/workload.hpp"
 
 namespace csmt::bench {
+
+/// The one timing utility every bench binary uses: a monotonic stopwatch on
+/// std::chrono::steady_clock. Wall timings must never come from
+/// system_clock (NTP steps corrupt measurements) or CPU clocks (they hide
+/// blocked time); funnelling everything through here keeps the bench
+/// binaries consistent with obs::WallTimer's choice.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Resident-set size of this process right now, in bytes (0 where the
+/// platform offers no cheap probe). Linux: VmRSS pages from /proc/self/statm.
+inline std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    unsigned long vm_pages = 0, rss_pages = 0;
+    const int got = std::fscanf(f, "%lu %lu", &vm_pages, &rss_pages);
+    std::fclose(f);
+    if (got == 2) {
+      return static_cast<std::uint64_t>(rss_pages) *
+             static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+    }
+  }
+#endif
+  return 0;
+}
+
+/// High-water resident-set size of this process, in kilobytes (0 where
+/// unavailable). Linux: ru_maxrss from getrusage.
+inline std::uint64_t peak_rss_kb() {
+#if defined(__linux__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+  }
+#endif
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// The pointer-chase micro-workload shared by micro_simspeed and perf_gate:
+// per-thread chains of dependent loads, each a cold miss on its own page,
+// with nothing else to issue once the window fills — the long-latency
+// regime the quiescence scheduler targets.
+
+inline constexpr Addr kChaseBase = 1 << 20;
+inline constexpr std::uint64_t kChaseRegionBytes = 8ull << 20;  ///< per thread
+inline constexpr std::uint64_t kChaseRegionWords = kChaseRegionBytes / 8;
+inline constexpr std::uint64_t kChaseStrideWords = 1031;  ///< odd: full-cycle walk
+
+/// Per-thread pointer chase: `iters` dependent loads (p = mem[p]).
+inline isa::Program chase_program(std::uint64_t iters) {
+  isa::ProgramBuilder b("chase");
+  const isa::Reg p = b.ireg();
+  const isa::Reg cnt = b.ireg();
+  const isa::Reg region = b.ireg();
+  b.li(region, kChaseRegionBytes);
+  b.mul(region, b.tid(), region);
+  b.add(p, b.args(), region);
+  b.li(cnt, static_cast<std::int64_t>(iters));
+  const isa::Label loop = b.new_label();
+  b.bind(loop);
+  b.ld(p, p, 0);  // p = mem[p]: the serializing dependence
+  b.addi(cnt, cnt, -1);
+  b.bne(cnt, b.zero(), loop);
+  b.halt();
+  return b.take();
+}
+
+/// Lays out each thread's chain so every step lands on a fresh page.
+inline void init_chase_memory(mem::PagedMemory& memory, unsigned threads,
+                              std::uint64_t iters) {
+  for (unsigned t = 0; t < threads; ++t) {
+    const Addr base = kChaseBase + t * kChaseRegionBytes;
+    std::uint64_t cur = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const std::uint64_t next = (cur + kChaseStrideWords) % kChaseRegionWords;
+      memory.write(base + cur * 8, base + next * 8);
+      cur = next;
+    }
+  }
+}
+
+/// Counter equality between two kernels' RunStats (the exhaustive per-field
+/// comparison lives in the golden-stats test; this is the cheap gate).
+inline bool stats_match(const sim::RunStats& a, const sim::RunStats& b) {
+  return a.cycles == b.cycles && a.committed_useful == b.committed_useful &&
+         a.committed_sync == b.committed_sync && a.fetched == b.fetched &&
+         a.timed_out == b.timed_out &&
+         a.avg_running_threads == b.avg_running_threads &&
+         a.slots.total() == b.slots.total();
+}
 
 inline unsigned scale_from_env(unsigned fallback = 4) {
   if (const char* s = std::getenv("CSMT_SCALE")) {

@@ -6,7 +6,11 @@
 // machine points twice — quiescence scheduler vs --no-skip — and reports
 // the skipped-cycle fraction and speedup per point, writing the results to
 // BENCH_simspeed.json (override with CSMT_SIMSPEED_JSON; empty disables)
-// so the perf trajectory is tracked across PRs.
+// so the perf trajectory is tracked across PRs. Points are labeled by
+// regime — "idle" (long quiescent spans, the scheduler's target) vs "busy"
+// (short or no gaps, where skip support must cost ~nothing) — and each
+// kernel timing is the best of CSMT_SIMSPEED_REPS runs (default 3) so the
+// small busy points aren't noise-dominated. Per-point peak RSS rides along.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -14,6 +18,9 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
+#include "bench_util.hpp"
 #include "branch/predictor.hpp"
 #include "cache/backend.hpp"
 #include "cache/memsys.hpp"
@@ -104,16 +111,19 @@ BENCHMARK(BM_FullMachine)
 // Skip-ahead A/B: quiescence scheduler vs per-cycle kernel (--no-skip).
 
 /// One A/B point's outcome. Stats are asserted equal between kernels (the
-/// exhaustive grid lives in scheduler_test); wall numbers are per kernel.
+/// exhaustive grid lives in scheduler_test); wall numbers are per kernel,
+/// best of `reps` runs each.
 struct AbRow {
   std::string name;
   std::string arch;
+  std::string regime;  ///< "idle" or "busy" — which regime the point probes
   unsigned chips = 0;
   std::uint64_t cycles = 0;
   std::uint64_t committed = 0;
   std::uint64_t quiet_cycles = 0;
   double skip_seconds = 0.0;
   double noskip_seconds = 0.0;
+  std::uint64_t peak_rss_kb = 0;  ///< process high-water mark after the point
   bool stats_equal = false;
 
   double quiet_fraction() const {
@@ -133,109 +143,103 @@ struct AbRow {
   }
 };
 
-constexpr Addr kChaseBase = 1 << 20;
-constexpr std::uint64_t kChaseRegionBytes = 8ull << 20;  ///< per thread
-constexpr std::uint64_t kChaseRegionWords = kChaseRegionBytes / 8;
-constexpr std::uint64_t kChaseStrideWords = 1031;  ///< odd: full-cycle walk
-
-/// Per-thread pointer chase: `iters` dependent loads, each a cold miss on
-/// its own page, with nothing else to issue once the window fills — the
-/// long-latency regime the quiescence scheduler targets (remote misses on
-/// the high-end machine).
-isa::Program chase_program(std::uint64_t iters) {
-  isa::ProgramBuilder b("chase");
-  const isa::Reg p = b.ireg();
-  const isa::Reg cnt = b.ireg();
-  const isa::Reg region = b.ireg();
-  b.li(region, kChaseRegionBytes);
-  b.mul(region, b.tid(), region);
-  b.add(p, b.args(), region);
-  b.li(cnt, static_cast<std::int64_t>(iters));
-  const isa::Label loop = b.new_label();
-  b.bind(loop);
-  b.ld(p, p, 0);  // p = mem[p]: the serializing dependence
-  b.addi(cnt, cnt, -1);
-  b.bne(cnt, b.zero(), loop);
-  b.halt();
-  return b.take();
-}
-
-/// Lays out each thread's chain so every step lands on a fresh page.
-void init_chase_memory(mem::PagedMemory& memory, unsigned threads,
-                       std::uint64_t iters) {
-  for (unsigned t = 0; t < threads; ++t) {
-    const Addr base = kChaseBase + t * kChaseRegionBytes;
-    std::uint64_t cur = 0;
-    for (std::uint64_t i = 0; i < iters; ++i) {
-      const std::uint64_t next = (cur + kChaseStrideWords) % kChaseRegionWords;
-      memory.write(base + cur * 8, base + next * 8);
-      cur = next;
-    }
+unsigned reps_from_env() {
+  if (const char* s = std::getenv("CSMT_SIMSPEED_REPS")) {
+    const unsigned v = static_cast<unsigned>(std::atoi(s));
+    if (v >= 1) return v;
   }
+  return 3;
 }
 
-bool stats_match(const sim::RunStats& a, const sim::RunStats& b) {
-  return a.cycles == b.cycles && a.committed_useful == b.committed_useful &&
-         a.committed_sync == b.committed_sync && a.fetched == b.fetched &&
-         a.timed_out == b.timed_out &&
-         a.avg_running_threads == b.avg_running_threads &&
-         a.slots.total() == b.slots.total();
-}
-
-AbRow run_chase_point(core::ArchKind arch, unsigned chips,
-                      std::uint64_t iters) {
+AbRow run_chase_point(core::ArchKind arch, unsigned chips, std::uint64_t iters,
+                      const char* regime) {
   AbRow row;
   row.name = "chase";
   row.arch = core::arch_name(arch);
+  row.regime = regime;
   row.chips = chips;
+  const unsigned reps = reps_from_env();
   sim::RunStats skip_stats, noskip_stats;
-  for (const bool no_skip : {false, true}) {
-    sim::MachineConfig mc;
-    mc.arch = core::arch_preset(arch);
-    mc.chips = chips;
-    mc.no_skip = no_skip;
-    sim::Machine machine(mc);
-    mem::PagedMemory memory;
-    init_chase_memory(memory, mc.total_threads(), iters);
-    const isa::Program program = chase_program(iters);
-    obs::WallTimer timer;
-    const sim::RunStats stats = machine.run(program, memory, kChaseBase);
-    const double secs = timer.elapsed_seconds();
-    if (no_skip) {
-      noskip_stats = stats;
-      row.noskip_seconds = secs;
-    } else {
-      skip_stats = stats;
-      row.skip_seconds = secs;
-      row.cycles = stats.cycles;
-      row.committed = stats.committed_useful + stats.committed_sync;
-      row.quiet_cycles = machine.quiet_cycles();
+  row.stats_equal = true;
+  // Kernels alternate within each rep (skip, noskip, skip, noskip, ...):
+  // allocator warm-up and clock-drift effects then hit both flavors
+  // symmetrically instead of biasing whichever block ran second.
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    for (const bool no_skip : {false, true}) {
+      sim::MachineConfig mc;
+      mc.arch = core::arch_preset(arch);
+      mc.chips = chips;
+      mc.no_skip = no_skip;
+      sim::Machine machine(mc);
+      mem::PagedMemory memory;
+      bench::init_chase_memory(memory, mc.total_threads(), iters);
+      const isa::Program program = bench::chase_program(iters);
+      bench::StopWatch timer;
+      const sim::RunStats stats = machine.run(program, memory,
+                                              bench::kChaseBase);
+      const double secs = timer.seconds();
+      double& best = no_skip ? row.noskip_seconds : row.skip_seconds;
+      if (rep == 0) {
+        best = secs;
+        (no_skip ? noskip_stats : skip_stats) = stats;
+      } else {
+        best = std::min(best, secs);
+        // Repetitions of a deterministic simulator must agree with rep 0.
+        row.stats_equal = row.stats_equal &&
+                          bench::stats_match(stats, no_skip ? noskip_stats
+                                                            : skip_stats);
+      }
+      if (!no_skip && rep == 0) {
+        row.cycles = stats.cycles;
+        row.committed = stats.committed_useful + stats.committed_sync;
+        row.quiet_cycles = machine.quiet_cycles();
+      }
     }
   }
-  row.stats_equal = stats_match(skip_stats, noskip_stats);
+  row.stats_equal =
+      row.stats_equal && bench::stats_match(skip_stats, noskip_stats);
+  row.peak_rss_kb = bench::peak_rss_kb();
   return row;
 }
 
 AbRow run_workload_point(const std::string& workload, core::ArchKind arch,
-                         unsigned chips, unsigned scale) {
+                         unsigned chips, unsigned scale, const char* regime) {
   AbRow row;
   row.name = workload;
   row.arch = core::arch_name(arch);
+  row.regime = regime;
   row.chips = chips;
   sim::ExperimentSpec spec;
   spec.workload = workload;
   spec.arch = arch;
   spec.chips = chips;
   spec.scale = scale;
-  const sim::ExperimentResult skip = sim::run_experiment(spec);
-  spec.no_skip = true;
-  const sim::ExperimentResult noskip = sim::run_experiment(spec);
+  const unsigned reps = reps_from_env();
+  sim::ExperimentResult skip, noskip;
+  row.stats_equal = true;
+  // Kernels alternate within each rep — see run_chase_point.
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    for (const bool no_skip : {false, true}) {
+      spec.no_skip = no_skip;
+      sim::ExperimentResult r = sim::run_experiment(spec);
+      double& best = no_skip ? row.noskip_seconds : row.skip_seconds;
+      if (rep == 0) {
+        best = r.sim_speed.wall_seconds;
+        (no_skip ? noskip : skip) = std::move(r);
+      } else {
+        best = std::min(best, r.sim_speed.wall_seconds);
+        row.stats_equal = row.stats_equal &&
+                          bench::stats_match(r.stats, (no_skip ? noskip : skip)
+                                                          .stats);
+      }
+    }
+  }
   row.cycles = skip.stats.cycles;
   row.committed = skip.stats.committed_useful + skip.stats.committed_sync;
   row.quiet_cycles = skip.sim_speed.quiet_cycles;
-  row.skip_seconds = skip.sim_speed.wall_seconds;
-  row.noskip_seconds = noskip.sim_speed.wall_seconds;
-  row.stats_equal = stats_match(skip.stats, noskip.stats);
+  row.stats_equal =
+      row.stats_equal && bench::stats_match(skip.stats, noskip.stats);
+  row.peak_rss_kb = bench::peak_rss_kb();
   return row;
 }
 
@@ -247,6 +251,7 @@ void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
     json::Value p = json::Value::object();
     p["name"] = r.name;
     p["arch"] = r.arch;
+    p["regime"] = r.regime;
     p["chips"] = static_cast<std::uint64_t>(r.chips);
     p["cycles"] = r.cycles;
     p["committed"] = r.committed;
@@ -257,6 +262,7 @@ void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
     p["skip_cycles_per_sec"] = r.skip_cps();
     p["noskip_cycles_per_sec"] = r.noskip_cps();
     p["speedup"] = r.speedup();
+    p["peak_rss_kb"] = r.peak_rss_kb;
     p["stats_equal"] = r.stats_equal;
     points.push_back(std::move(p));
   }
@@ -278,27 +284,35 @@ void run_skip_ab() {
   if (const char* p = std::getenv("CSMT_SIMSPEED_JSON")) json_path = p;
 
   std::vector<AbRow> rows;
-  // High-end (4-chip) points first: the remote-miss regime the tentpole
-  // targets. The chase micro stresses pure dependent-miss quiescence; the
-  // registry workloads show what real kernels recover.
-  rows.push_back(run_chase_point(core::ArchKind::kFa1, 4, 20000));
-  rows.push_back(run_chase_point(core::ArchKind::kSmt2, 4, 8000));
-  rows.push_back(run_workload_point("mgrid", core::ArchKind::kFa1, 4, 2));
-  rows.push_back(run_workload_point("ocean", core::ArchKind::kSmt2, 4, 2));
+  // Idle-regime points: long quiescent spans (dependent remote misses on
+  // one-wide clusters) — where skipping must pay off big.
+  rows.push_back(run_chase_point(core::ArchKind::kFa1, 4, 20000, "idle"));
+  // Busy-regime points: short or no quiescent gaps — where skip support
+  // must cost ~nothing (the probe-amortization target). chase/SMT2 keeps a
+  // second context issuing; the registry workloads are real busy kernels.
+  rows.push_back(run_chase_point(core::ArchKind::kSmt2, 4, 8000, "busy"));
+  rows.push_back(run_workload_point("mgrid", core::ArchKind::kFa1, 4, 2,
+                                    "busy"));
+  rows.push_back(run_workload_point("ocean", core::ArchKind::kSmt2, 4, 2,
+                                    "busy"));
+  rows.push_back(run_workload_point("swim", core::ArchKind::kSmt2, 4, 2,
+                                    "busy"));
   // Low-end contrast point.
-  rows.push_back(run_chase_point(core::ArchKind::kSmt2, 1, 20000));
+  rows.push_back(run_chase_point(core::ArchKind::kSmt2, 1, 20000, "busy"));
 
   std::printf(
-      "\nskip-ahead A/B (quiescence scheduler vs --no-skip)\n"
-      "%-8s %-6s %5s %12s %8s %10s %10s %8s %6s\n",
-      "point", "arch", "chips", "cycles", "quiet%", "skip-cps", "noskip-cps",
-      "speedup", "equal");
+      "\nskip-ahead A/B (quiescence scheduler vs --no-skip, best of %u)\n"
+      "%-8s %-6s %-5s %5s %12s %8s %10s %10s %8s %9s %6s\n",
+      reps_from_env(), "point", "arch", "regime", "chips", "cycles", "quiet%",
+      "skip-cps", "noskip-cps", "speedup", "rss-kb", "equal");
   for (const AbRow& r : rows) {
-    std::printf("%-8s %-6s %5u %12llu %7.1f%% %10.3e %10.3e %7.2fx %6s\n",
-                r.name.c_str(), r.arch.c_str(), r.chips,
-                static_cast<unsigned long long>(r.cycles),
-                100.0 * r.quiet_fraction(), r.skip_cps(), r.noskip_cps(),
-                r.speedup(), r.stats_equal ? "yes" : "NO");
+    std::printf(
+        "%-8s %-6s %-5s %5u %12llu %7.1f%% %10.3e %10.3e %7.2fx %9llu %6s\n",
+        r.name.c_str(), r.arch.c_str(), r.regime.c_str(), r.chips,
+        static_cast<unsigned long long>(r.cycles), 100.0 * r.quiet_fraction(),
+        r.skip_cps(), r.noskip_cps(), r.speedup(),
+        static_cast<unsigned long long>(r.peak_rss_kb),
+        r.stats_equal ? "yes" : "NO");
   }
   if (!json_path.empty()) write_ab_json(json_path, rows);
 }

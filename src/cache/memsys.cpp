@@ -30,7 +30,9 @@ MemSys::MemSys(ChipId chip, const MemSysParams& params, MemoryBackend& backend,
       l2_(params.l2),
       tlb_(params.tlb_entries, /*seed=*/0x7165u + chip),
       mshr_(params.max_outstanding_loads),
-      l2_bank_busy_(params.l2.banks, 0) {
+      l2_bank_busy_(params.l2.banks, 0),
+      l1_reject_window_(static_cast<Cycle>(params.l1.occupancy) *
+                        params.bank_queue_depth) {
   CSMT_ASSERT_MSG(params.l1.line_bytes == params.l2.line_bytes,
                   "L1 and L2 must share a line size (inclusive hierarchy)");
   CSMT_ASSERT(l1_count >= 1);
@@ -71,6 +73,7 @@ void MemSys::cross_invalidate(unsigned port, Addr line_addr) {
 AccessResult MemSys::access(Addr addr, Cycle arrival, bool is_store,
                             bool is_atomic, unsigned port) {
   obs::ScopedPhase phase(prof_, obs::Phase::kMemory);
+  horizon_dirty_ = true;  // any access may move bank/MSHR completion times
   CacheArray& l1 = l1s_[port % l1s_.size()];
   std::vector<Cycle>& l1_busy = l1_bank_busy_[port % l1s_.size()];
   Cycle t = arrival;
@@ -82,8 +85,6 @@ AccessResult MemSys::access(Addr addr, Cycle arrival, bool is_store,
   // Write-invalidate between private L1s: a store removes every other
   // cluster's copy (their next access refetches through the shared L2).
   if (is_store && l1s_.size() > 1) cross_invalidate(port % l1s_.size(), line);
-
-  mshr_.expire(t);
 
   auto accept = [&](Cycle done, ServiceLevel level) {
     (is_store ? stats_.stores : stats_.loads)++;
@@ -102,23 +103,32 @@ AccessResult MemSys::access(Addr addr, Cycle arrival, bool is_store,
     return AccessResult{false, 0, ServiceLevel::kL1, RejectReason::kMshrFull};
   };
 
-  // Secondary miss to a line already in flight: piggyback on that fetch.
-  const Cycle outstanding = mshr_.outstanding(line);
-  if (outstanding != kNeverCycle) {
-    mshr_.note_merge();
-    Cycle done = std::max(outstanding, t + 1);
-    if (is_store && !is_atomic) done = t + 1;  // drains via the write buffer
-    return accept(done, ServiceLevel::kMergedMshr);
-  }
-
-  // L1 bank arbitration: the access queues at the bank (bounded queue);
-  // queuing shows up as extra latency, overflow as a rejection the core
-  // retries against.
   const unsigned b1 = l1.bank_of(addr);
-  if (l1_busy[b1] >
-      t + static_cast<Cycle>(params_.l1.occupancy) * params_.bank_queue_depth)
-    return reject_bank();
-  const Cycle t1 = std::max(t, l1_busy[b1]);
+  Cycle t1;
+  if (mshr_.in_flight() == 0 && l1_busy[b1] <= t) {
+    // Fast path (DESIGN.md §9): nothing is in flight and the target bank is
+    // free, so MSHR expiry, the merge probe, and the queue arbitration are
+    // all provably no-ops — skip straight to the L1 lookup. The typical
+    // L1 hit on a quiet hierarchy pays only TLB + lookup + one bank update.
+    t1 = t;
+  } else {
+    mshr_.expire(t);
+
+    // Secondary miss to a line already in flight: piggyback on that fetch.
+    const Cycle outstanding = mshr_.outstanding(line);
+    if (outstanding != kNeverCycle) {
+      mshr_.note_merge();
+      Cycle done = std::max(outstanding, t + 1);
+      if (is_store && !is_atomic) done = t + 1;  // drains via the write buffer
+      return accept(done, ServiceLevel::kMergedMshr);
+    }
+
+    // L1 bank arbitration: the access queues at the bank (bounded queue);
+    // queuing shows up as extra latency, overflow as a rejection the core
+    // retries against.
+    if (l1_busy[b1] > t + l1_reject_window_) return reject_bank();
+    t1 = std::max(t, l1_busy[b1]);
+  }
   const Cycle l1_queue = t1 - t;
   l1_busy[b1] = t1 + params_.l1.occupancy;
 

@@ -51,12 +51,14 @@ void Cluster::attach_thread(exec::ThreadContext* tc) {
                   "cluster hardware contexts exhausted");
   ThreadSlot slot;
   slot.tc = tc;
+  slot.rob.init(cfg_.rob_entries);
   if (trace_) {
     slot.obs_track = {track_.pid, obs::kThreadTidBase + tc->tid()};
     trace_->name_track(slot.obs_track,
                        "thread " + std::to_string(tc->tid()));
   }
   threads_.push_back(std::move(slot));
+  quiet_stall_if_selected_.reserve(threads_.size());
 }
 
 std::uint16_t Cluster::alloc_slot() {
@@ -218,7 +220,7 @@ void Cluster::prime_quiet_plan(Cycle now) {
   // (next_event() ends the span at the first cycle any of them flips), so
   // evaluating at the first skipped cycle stands for all of them.
   const Cycle q = now + 1;
-  double hist[kNumSlots] = {};
+  std::uint32_t hist[kNumSlots] = {};
   // issue()'s stall histogram: during a quiescent span every IQ entry is
   // operand-stalled, in the same short-circuit order as issue().
   for (const std::uint16_t idx : iq_) {
@@ -227,8 +229,7 @@ void Cluster::prime_quiet_plan(Cycle now) {
     const bool ready =
         src_ready(u.src[0], q, &hz) && src_ready(u.src[1], q, &hz);
     CSMT_ASSERT_MSG(!ready, "issuable uop inside a quiescent span");
-    hist[static_cast<std::size_t>(u.dyn.sync_tagged() ? Slot::kSync : hz)] +=
-        1.0;
+    ++hist[static_cast<std::size_t>(u.sync ? Slot::kSync : hz)];
   }
   // account()'s per-thread contributions, plus fetch()'s two dispatch-stall
   // checks (the round-robin "selected thread lacks room" check and the
@@ -239,12 +240,12 @@ void Cluster::prime_quiet_plan(Cycle now) {
     const ThreadSlot& t = threads_[i];
     if (!t.tc || t.tc->done()) continue;
     if (sync_waiting(t, q)) {
-      hist[static_cast<std::size_t>(Slot::kSync)] += 1.0;
+      ++hist[static_cast<std::size_t>(Slot::kSync)];
     } else if (mispredict_blocked(t, q)) {
-      hist[static_cast<std::size_t>(t.blocked_sync ? Slot::kSync
-                                                   : Slot::kControl)] += 1.0;
+      ++hist[static_cast<std::size_t>(t.blocked_sync ? Slot::kSync
+                                                     : Slot::kControl)];
     } else if (t.window_count == 0) {
-      hist[static_cast<std::size_t>(Slot::kFetch)] += 1.0;
+      ++hist[static_cast<std::size_t>(Slot::kFetch)];
     }
     if (!has_dispatch_room(t)) {
       quiet_stall_if_selected_[i] = 1;
@@ -253,21 +254,23 @@ void Cluster::prime_quiet_plan(Cycle now) {
   }
   // account()'s wasted-slot distribution with zero issues, in both the
   // stalled and unstalled variants. The expressions match account()
-  // exactly, so adding a delta per skipped cycle reproduces the per-cycle
-  // accumulator bit for bit.
+  // exactly — the integer counts convert to the same exact doubles the old
+  // per-cycle `+= 1.0` accumulation produced — so adding a delta per
+  // skipped cycle reproduces the per-cycle accumulator bit for bit.
   const double wasted = static_cast<double>(cfg_.width);
   for (int v = 0; v < 2; ++v) {
-    double h[kNumSlots];
+    std::uint32_t h[kNumSlots];
+    std::uint32_t total = 0;
     for (std::size_t i = 0; i < kNumSlots; ++i) h[i] = hist[i];
-    if (v == 1) h[static_cast<std::size_t>(Slot::kOther)] += 1.0;
-    double total = 0.0;
-    for (const double x : h) total += x;
+    if (v == 1) ++h[static_cast<std::size_t>(Slot::kOther)];
+    for (const std::uint32_t x : h) total += x;
     for (std::size_t i = 0; i < kNumSlots; ++i) quiet_delta_[v][i] = 0.0;
-    if (total <= 0.0) {
+    if (total == 0) {
       quiet_delta_[v][static_cast<std::size_t>(Slot::kFetch)] = wasted;
     } else {
       for (std::size_t i = 0; i < kNumSlots; ++i) {
-        quiet_delta_[v][i] = wasted * h[i] / total;
+        quiet_delta_[v][i] = wasted * static_cast<double>(h[i]) /
+                             static_cast<double>(total);
       }
     }
   }
@@ -365,7 +368,7 @@ void Cluster::commit(Cycle now) {
       if (!u.issued || u.complete_at > now) break;
       if (u.holds_int_rename) --int_rename_used_;
       if (u.holds_fp_rename) --fp_rename_used_;
-      if (u.dyn.sync_tagged()) {
+      if (u.sync) {
         ++stats_.committed_sync;
       } else {
         ++stats_.committed_useful;
@@ -379,7 +382,7 @@ void Cluster::commit(Cycle now) {
 }
 
 void Cluster::issue(Cycle now) {
-  for (double& h : cycle_hist_) h = 0.0;
+  for (std::uint32_t& h : cycle_hist_) h = 0;
   issued_useful_ = 0;
   issued_sync_ = 0;
   dispatch_stalled_ = false;
@@ -389,16 +392,16 @@ void Cluster::issue(Cycle now) {
                                 cfg_.fp_units};
   unsigned width_used = 0;
 
-  std::vector<std::uint16_t> waiting;
-  waiting.reserve(iq_.size());
+  // Uops that cannot issue are compacted toward the front of iq_ in place:
+  // the write cursor never passes the read cursor, so no scratch vector —
+  // and no per-cycle allocation — is needed.
+  std::size_t waiting = 0;
 
   for (const std::uint16_t idx : iq_) {
     Uop& u = slots_[idx];
-    const isa::OpInfo& oi = u.dyn.info();
-    const bool sync = u.dyn.sync_tagged();
     auto stall = [&](Slot s) {
-      cycle_hist_[static_cast<std::size_t>(sync ? Slot::kSync : s)] += 1.0;
-      waiting.push_back(idx);
+      ++cycle_hist_[static_cast<std::size_t>(u.sync ? Slot::kSync : s)];
+      iq_[waiting++] = idx;
     };
 
     // Operand readiness (the paper's data/memory hazards).
@@ -412,22 +415,22 @@ void Cluster::issue(Cycle now) {
       stall(Slot::kStructural);
       continue;
     }
-    if (oi.fu != isa::FuClass::kNone) {
-      const auto fc = static_cast<std::size_t>(oi.fu);
+    if (u.fu != isa::FuClass::kNone) {
+      const auto fc = static_cast<std::size_t>(u.fu);
       if (fu_used[fc] >= fu_limit[fc]) {
         stall(Slot::kStructural);
         continue;
       }
       // Memory ops must additionally be accepted by the hierarchy (free
       // bank, free MSHR) — rejection is the paper's memory hazard.
-      if (oi.is_load || oi.is_store) {
+      if (u.is_load || u.is_store) {
         const Cycle arrival = now + 1;
         const Addr addr = u.dyn.mem_addr +
                           threads_[u.hw_thread].tc->timing_addr_offset();
         cache::AccessResult r;
-        if (oi.is_atomic) {
+        if (u.is_atomic) {
           r = memsys_.atomic(addr, arrival, id_);
-        } else if (oi.is_store) {
+        } else if (u.is_store) {
           r = memsys_.store(addr, arrival, id_);
         } else {
           r = memsys_.load(addr, arrival, id_);
@@ -438,25 +441,25 @@ void Cluster::issue(Cycle now) {
           continue;
         }
         u.complete_at =
-            oi.is_store && !oi.is_atomic ? now + oi.latency : r.done;
+            u.is_store && !u.is_atomic ? now + u.latency : r.done;
       } else {
-        u.complete_at = now + oi.latency;
+        u.complete_at = now + u.latency;
       }
       ++fu_used[fc];
     } else {
-      u.complete_at = now + oi.latency;
+      u.complete_at = now + u.latency;
     }
 
     u.issued = true;
     ++width_used;
     ++stats_.issued;
-    if (sync) {
+    if (u.sync) {
       ++issued_sync_;
     } else {
       ++issued_useful_;
     }
   }
-  iq_ = std::move(waiting);
+  iq_.resize(waiting);
 }
 
 void Cluster::fetch(Cycle now) {
@@ -558,6 +561,15 @@ void Cluster::fetch(Cycle now) {
     CSMT_ASSERT(stepped);
     u.hw_thread = static_cast<unsigned>(chosen);
     u.dispatched_at = now;
+    // Cache the decode-derived hot bits: the per-cycle issue scan reads
+    // them every cycle the uop waits, so they must not cost a pointer
+    // chase through dyn.inst each time.
+    u.fu = oi.fu;
+    u.latency = oi.latency;
+    u.is_load = oi.is_load;
+    u.is_store = oi.is_store;
+    u.is_atomic = oi.is_atomic;
+    u.sync = u.dyn.sync_tagged();
 
     // Capture source dependences from the rename maps (before the dest map
     // update, so "add r1, r1, r2" reads the previous writer of r1).
@@ -590,7 +602,7 @@ void Cluster::fetch(Cycle now) {
     t.rob.push_back(idx);
     ++t.window_count;
     iq_.push_back(idx);
-    t.in_sync = u.dyn.sync_tagged();
+    t.in_sync = u.sync;
     ++stats_.fetched;
 
     if (oi.is_cond_branch) {
@@ -600,7 +612,7 @@ void Cluster::fetch(Cycle now) {
         u.mispredicted = true;
         t.blocked_on = idx;
         t.blocked_gen = u.gen;
-        t.blocked_sync = u.dyn.sync_tagged();
+        t.blocked_sync = u.sync;
         break;  // fetch stalls until the branch resolves
       }
       // Correctly predicted (direction + BTB target): the fetch unit keeps
@@ -622,20 +634,19 @@ void Cluster::account(Cycle now) {
     if (!t.tc || t.tc->done()) continue;
     if (sync_waiting(t, now)) {
       // Blocked in (or waking from) a lock/barrier: the paper's sync slots.
-      cycle_hist_[static_cast<std::size_t>(Slot::kSync)] += 1.0;
+      ++cycle_hist_[static_cast<std::size_t>(Slot::kSync)];
       continue;
     }
     if (mispredict_blocked(t, now)) {
-      cycle_hist_[static_cast<std::size_t>(t.blocked_sync ? Slot::kSync
-                                                          : Slot::kControl)] +=
-          1.0;
+      ++cycle_hist_[static_cast<std::size_t>(t.blocked_sync ? Slot::kSync
+                                                            : Slot::kControl)];
     } else if (t.window_count == 0) {
-      cycle_hist_[static_cast<std::size_t>(Slot::kFetch)] += 1.0;
+      ++cycle_hist_[static_cast<std::size_t>(Slot::kFetch)];
     }
     if (!t.in_sync) ++last_running_;
   }
   if (dispatch_stalled_) {
-    cycle_hist_[static_cast<std::size_t>(Slot::kOther)] += 1.0;
+    ++cycle_hist_[static_cast<std::size_t>(Slot::kOther)];
     ++stats_.dispatch_stall_cycles;
   }
 
@@ -646,15 +657,19 @@ void Cluster::account(Cycle now) {
       static_cast<double>(cfg_.width) - issued_useful_ - issued_sync_;
   if (wasted <= 0) return;
 
-  double total = 0.0;
-  for (const double h : cycle_hist_) total += h;
-  if (total <= 0.0) {
+  // The histogram holds small event counts; converting them to double here
+  // is exact, so the proportional split below matches the old floating-
+  // point accumulation bit for bit.
+  std::uint32_t total = 0;
+  for (const std::uint32_t h : cycle_hist_) total += h;
+  if (total == 0) {
     // Empty window and nothing blocked: lack of instructions to run.
     s[Slot::kFetch] += wasted;
     return;
   }
   for (std::size_t i = 0; i < kNumSlots; ++i) {
-    s.slots[i] += wasted * cycle_hist_[i] / total;
+    s.slots[i] += wasted * static_cast<double>(cycle_hist_[i]) /
+                  static_cast<double>(total);
   }
 }
 

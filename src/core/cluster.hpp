@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "branch/predictor.hpp"
@@ -38,7 +37,9 @@ struct SrcDep {
   bool producer_is_load = false;
 };
 
-/// One in-flight dynamic instruction.
+/// One in-flight dynamic instruction. The decode-derived fields (`fu`,
+/// `latency`, the memory/sync bits) are cached here at dispatch so the
+/// per-cycle issue scan never re-derives them through `dyn.inst`.
 struct Uop {
   exec::DynInst dyn;
   std::uint32_t gen = 0;
@@ -46,11 +47,48 @@ struct Uop {
   Cycle dispatched_at = 0;
   Cycle complete_at = kNeverCycle;
   SrcDep src[2];
+  isa::FuClass fu = isa::FuClass::kNone;  ///< cached OpInfo::fu
+  std::uint8_t latency = 0;               ///< cached OpInfo::latency
+  bool is_load = false;                   ///< cached OpInfo::is_load
+  bool is_store = false;                  ///< cached OpInfo::is_store
+  bool is_atomic = false;                 ///< cached OpInfo::is_atomic
+  bool sync = false;                      ///< cached DynInst::sync_tagged()
   bool live = false;
   bool issued = false;
   bool holds_int_rename = false;
   bool holds_fp_rename = false;
   bool mispredicted = false;
+};
+
+/// Fixed-capacity FIFO of slot indices: the per-thread ROB view. Capacity is
+/// bounded by the cluster's ROB size, so after init() no push/pop ever
+/// allocates (unlike std::deque, whose block churn shows up on the tick
+/// hot path).
+class UopFifo {
+ public:
+  void init(std::size_t capacity) {
+    buf_.assign(capacity, 0);
+    head_ = 0;
+    count_ = 0;
+  }
+  bool empty() const { return count_ == 0; }
+  std::uint16_t front() const { return buf_[head_]; }
+  void push_back(std::uint16_t v) {
+    std::size_t tail = head_ + count_;
+    if (tail >= buf_.size()) tail -= buf_.size();
+    buf_[tail] = v;
+    ++count_;
+  }
+  void pop_front() {
+    ++head_;
+    if (head_ == buf_.size()) head_ = 0;
+    --count_;
+  }
+
+ private:
+  std::vector<std::uint16_t> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
 };
 
 struct ClusterStats {
@@ -77,7 +115,9 @@ class Cluster {
   void attach_thread(exec::ThreadContext* tc);
 
   /// Advances the cluster by one cycle: commit, issue, fetch, then
-  /// issue-slot accounting (§4.1).
+  /// issue-slot accounting (§4.1). Hot-path contract (DESIGN.md §9): with
+  /// tracing off, a tick performs zero heap allocations — every scratch
+  /// structure is a pre-sized member.
   void tick(Cycle now);
 
   /// True when the tick at `now` changed observable state (fetched, issued,
@@ -143,7 +183,7 @@ class Cluster {
     RenameEntry fp_map[isa::kNumFpRegs];
     unsigned window_count = 0;          ///< in-flight uops of this thread
     bool in_sync = false;               ///< last fetched inst was sync-tagged
-    std::deque<std::uint16_t> rob;      ///< program order (indices into slots_)
+    UopFifo rob;                        ///< program order (indices into slots_)
 
     // Tracing-only state (untouched when the sink is null).
     obs::Track obs_track;               ///< this thread's trace track
@@ -205,7 +245,11 @@ class Cluster {
   unsigned last_running_ = 0;  ///< Figure 6 sample, updated each tick
 
   // Per-cycle accounting state (filled by issue(), consumed by account()).
-  double cycle_hist_[kNumSlots] = {};
+  // The stall histogram counts events, so it is integer; it is converted to
+  // double only where account() divides the cycle's wasted slots. Small
+  // integers are exact in double, so the conversion reproduces the old
+  // per-cycle `+= 1.0` accumulation bit for bit (DESIGN.md §9).
+  std::uint32_t cycle_hist_[kNumSlots] = {};
   unsigned issued_useful_ = 0;
   unsigned issued_sync_ = 0;
   bool dispatch_stalled_ = false;

@@ -171,21 +171,19 @@ bool Machine::all_finished() const {
   return true;
 }
 
-void Machine::tick_chips(Cycle now) {
-  for (auto& chip : chips_) chip->tick(now);
+bool Machine::tick_chips(Cycle now) {
+  bool active = false;
+  for (auto& chip : chips_) {
+    chip->tick(now);
+    active |= chip->active_last_tick();
+  }
+  return active;
 }
 
 unsigned Machine::running_now() const {
   unsigned running = 0;
   for (const auto& chip : chips_) running += chip->running_threads();
   return running;
-}
-
-bool Machine::any_chip_active() const {
-  for (const auto& chip : chips_) {
-    if (chip->active_last_tick()) return true;
-  }
-  return false;
 }
 
 Cycle Machine::next_event(Cycle now) {

@@ -139,10 +139,11 @@ class Machine {
 
   // --- Scheduler-facing stepping interface ---
   bool all_finished() const;
-  void tick_chips(Cycle now);
+  /// Ticks every chip; returns true when any chip changed observable state
+  /// this cycle (the scheduler's activity signal — no second poll needed).
+  bool tick_chips(Cycle now);
   /// Running-thread count after the last tick (constant across a span).
   unsigned running_now() const;
-  bool any_chip_active() const;
   /// Machine-wide horizon: min over chips and the interconnect. `now` is
   /// the cycle of the tick just executed.
   Cycle next_event(Cycle now);

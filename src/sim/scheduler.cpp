@@ -9,13 +9,18 @@ Scheduler::Result Scheduler::run(
   const MachineConfig& cfg = m_.config();
   Result out;
   std::int64_t last_running_traced = -1;
+  // A quiescent tick cannot finish the machine (finishing requires a halt
+  // commit, which is an active tick), so the finish check only needs to run
+  // after active ticks. `true` initially: nothing has ticked yet.
+  bool check_finished = true;
   while (true) {
-    if (m_.all_finished()) break;
+    if (check_finished && m_.all_finished()) break;
     if (now_ >= cfg.max_cycles) {
       out.timed_out = true;
       break;
     }
-    m_.tick_chips(now_);
+    const bool active = m_.tick_chips(now_);
+    check_finished = active;
     const unsigned running = m_.running_now();
     out.running_accum += running;
     if (cfg.trace && running != last_running_traced) {
@@ -30,16 +35,35 @@ Scheduler::Result Scheduler::run(
     if (after_tick) after_tick(now_);
 
     if (cfg.no_skip) continue;
-    if (m_.any_chip_active()) continue;
-    if (m_.all_finished()) continue;  // drained: let the loop header exit
+    if (active) {
+      inactive_streak_ = 0;
+      continue;
+    }
+    if (m_.all_finished()) {  // drained: let the loop header exit
+      check_finished = true;
+      continue;
+    }
     // The whole machine is quiescent: every live thread is blocked on a
     // completion, wake, or release with a known (or externally-driven)
-    // horizon. Skip to the earliest horizon — clamped to the watchdog, so
-    // a deadlocked machine times out at exactly max_cycles — replaying
-    // each skipped cycle's accounting through the cheap quiet path. The
+    // horizon. Probing that horizon walks every component, so on busy
+    // workloads with short gaps we absorb up to probe_defer_ quiescent
+    // cycles through ordinary full ticks before paying for a probe.
+    if (++inactive_streak_ <= probe_defer_) continue;
+    // Skip to the earliest horizon — clamped to the watchdog, so a
+    // deadlocked machine times out at exactly max_cycles — replaying each
+    // skipped cycle's accounting through the cheap quiet path. The
     // running-thread count is constant across the span by construction.
     const Cycle horizon = m_.next_event(now_ - 1);
     const Cycle stop = horizon < cfg.max_cycles ? horizon : cfg.max_cycles;
+    if (stop < now_ + kShortSpan) {
+      probe_defer_ = probe_defer_ == 0
+                         ? 1
+                         : (probe_defer_ < kMaxDefer ? probe_defer_ * 2
+                                                     : kMaxDefer);
+    } else {
+      probe_defer_ = 0;
+    }
+    inactive_streak_ = 0;
     while (now_ < stop) {
       m_.quiet_tick_chips(now_);
       out.running_accum += running;

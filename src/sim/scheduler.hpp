@@ -1,4 +1,4 @@
-// Scheduler: the quiescence-aware simulation kernel (DESIGN.md §8).
+// Scheduler: the quiescence-aware simulation kernel (DESIGN.md §8/§9).
 //
 // The machine loop used to tick every cluster on every simulated cycle,
 // even when every thread was blocked on an outstanding miss, paying a sync
@@ -12,6 +12,16 @@
 // cost. RunStats, epoch samples, and traces are therefore identical to the
 // per-cycle kernel; MachineConfig::no_skip forces the old stepping for A/B
 // verification.
+//
+// Horizon probes are amortized (DESIGN.md §9): a probe walks every IQ
+// entry, MSHR, and bank, so on busy workloads whose quiescent gaps are only
+// a cycle or two long the probe costs more than the skipped cycles save.
+// The scheduler therefore tracks how productive recent probes were and,
+// after a run of short spans, defers the next probe until the machine has
+// been continuously quiescent for a threshold of full ticks (exponential
+// backoff, reset by the first long span). Deferred cycles run through the
+// ordinary full tick — always valid, bit-identical by construction — so
+// the heuristic trades only host time, never fidelity.
 #pragma once
 
 #include <functional>
@@ -54,10 +64,22 @@ class Scheduler {
   Result run(const std::function<void(Cycle)>& after_tick = {});
 
  private:
+  /// A probe that skips at least this many cycles paid for itself; shorter
+  /// (zero-yield) probes raise the deferral threshold. With the component
+  /// horizons O(1)-cached, even a 1-cycle skip beats a full tick, so only
+  /// probes whose horizon was not in the future at all count as wasted.
+  static constexpr Cycle kShortSpan = 1;
+  /// Ceiling on the deferral threshold: after a burst of unproductive
+  /// probes, at most this many quiescent full ticks pass between probes,
+  /// so a workload that turns idle-heavy is re-detected quickly.
+  static constexpr Cycle kMaxDefer = 64;
+
   Machine& m_;
   obs::EpochSampler& sampler_;
   Cycle now_ = 0;
   Cycle quiet_cycles_ = 0;
+  Cycle inactive_streak_ = 0;  ///< consecutive quiescent full ticks
+  Cycle probe_defer_ = 0;      ///< quiescent ticks to absorb before probing
 };
 
 }  // namespace csmt::sim

@@ -177,9 +177,10 @@ inline std::string trace_path_for(const BenchOptions& opt, std::size_t index,
 }
 
 /// Environment defaults (CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, CSMT_JSON,
-/// CSMT_TRACE, CSMT_METRICS_INTERVAL) overridden by flags: --scale N,
-/// --jobs N, --cache-dir PATH, --json PATH, --trace PATH,
-/// --metrics-interval N (both "--flag value" and "--flag=value" forms).
+/// CSMT_TRACE, CSMT_METRICS_INTERVAL, CSMT_CKPT_INTERVAL) overridden by
+/// flags: --scale N, --jobs N, --cache-dir PATH, --json PATH, --trace PATH,
+/// --metrics-interval N, --ckpt-interval N (both "--flag value" and
+/// "--flag=value" forms).
 /// Unknown arguments abort with a usage message so typos don't silently run
 /// the wrong experiment.
 inline BenchOptions parse_options(int argc, char** argv,
@@ -241,16 +242,24 @@ inline BenchOptions parse_options(int argc, char** argv,
       opt.trace_path = v;
     } else if (const char* v = value_of(i, "--metrics-interval")) {
       opt.metrics_interval = parse_unsigned(v, "--metrics-interval");
+    } else if (const char* v = value_of(i, "--ckpt-interval")) {
+      const unsigned n = parse_unsigned(v, "--ckpt-interval");
+      if (n < 1) {
+        std::fprintf(stderr,
+                     "csmt: --ckpt-interval wants an integer >= 1, got 0\n");
+        std::exit(2);
+      }
+      opt.sweep.ckpt_interval = n;
     } else if (std::strcmp(argv[i], "--no-skip") == 0) {
       opt.no_skip = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale N] [--jobs N] [--cache-dir PATH] "
                    "[--json PATH] [--trace PATH] [--metrics-interval N] "
-                   "[--no-skip]\n"
+                   "[--ckpt-interval N] [--no-skip]\n"
                    "  (env: CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, "
                    "CSMT_JSON, CSMT_TRACE, CSMT_METRICS_INTERVAL, "
-                   "CSMT_NO_SKIP)\n",
+                   "CSMT_CKPT_INTERVAL, CSMT_NO_SKIP)\n",
                    argv[0]);
       std::exit(2);
     }

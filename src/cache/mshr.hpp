@@ -93,6 +93,32 @@ class MshrFile {
 
   const MshrStats& stats() const { return stats_; }
 
+  /// Checkpoint visitor (ckpt::Serializer). Entries travel field by field
+  /// (never as raw structs — padding bytes are not deterministic).
+  template <class Serializer>
+  void serialize(Serializer& s) {
+    s.check(entries_, "mshr entries");
+    std::uint64_t n = slots_.size();
+    s.io(n);
+    if (s.loading()) {
+      if (!s.bounded_count(n)) {
+        slots_.clear();
+        return;
+      }
+      slots_.resize(static_cast<std::size_t>(n));
+    }
+    for (auto& e : slots_) {
+      s.io(e.line);
+      s.io(e.ready);
+      s.io(e.valid);
+    }
+    s.io(count_);
+    s.io(min_ready_);
+    s.io(stats_.allocations);
+    s.io(stats_.merges);
+    s.io(stats_.full_rejections);
+  }
+
  private:
   struct Entry {
     Addr line = 0;

@@ -1,0 +1,348 @@
+// csmt::ckpt — deterministic checkpoint/restore (DESIGN.md §10).
+//
+// The Serializer is a direction-symmetric visitor: every stateful component
+// implements one `serialize(...)` method whose body is a sequence of io()
+// calls, and the same body both saves and loads — so the two directions can
+// never drift apart. State is framed into named sections, each carrying its
+// own length and FNV-1a checksum, under a fixed-size header (magic, format
+// version, spec hash, cycle). The file layer (serializer.cpp) validates the
+// header and every section checksum *before* any component state is
+// mutated; the in-stream `check()` calls then verify machine shape (thread
+// counts, window sizes, program length) against the live machine before the
+// matching state is applied. Loads are bounds-checked throughout: a
+// truncated or hostile payload makes the serializer fail sticky and read
+// zeros, never out of bounds.
+//
+// Everything here is header-inline so header-only components (Rng, Tlb,
+// MshrFile, PagedMemory, ...) can serialize themselves without a link
+// dependency; only the file I/O lives in the csmt_ckpt library.
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace csmt::ckpt {
+
+/// Bump on any incompatible change to the checkpoint payload layout; files
+/// written by other versions are refused cleanly (DESIGN.md §10).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// File magic: the first 8 bytes of every checkpoint.
+inline constexpr char kMagic[8] = {'C', 'S', 'M', 'T', 'C', 'K', 'P', 'T'};
+
+/// FNV-1a over raw bytes — same hash family the sweep cache keys use.
+inline std::uint64_t fnv1a_bytes(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Header metadata carried outside the payload, readable without touching
+/// any machine state.
+struct CheckpointMeta {
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t spec_hash = 0;  ///< sweep::spec_hash of the run's point
+  Cycle cycle = 0;              ///< simulated cycle the snapshot was taken at
+};
+
+class Serializer {
+ public:
+  enum class Mode { kSave, kLoad };
+
+  /// Save mode: components append into a fresh payload buffer.
+  Serializer() : mode_(Mode::kSave) {}
+
+  /// Load mode over a payload whose section checksums the file layer has
+  /// already verified (Serializer re-verifies them per section anyway, so
+  /// in-memory round-trip tests need no file).
+  explicit Serializer(std::vector<std::uint8_t> payload)
+      : mode_(Mode::kLoad), buf_(std::move(payload)) {}
+
+  bool saving() const { return mode_ == Mode::kSave; }
+  bool loading() const { return mode_ == Mode::kLoad; }
+
+  /// False after the first framing/bounds/shape violation; all subsequent
+  /// reads return zeros and writes are dropped, so a failed load is safe to
+  /// run to completion and inspect.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  void fail(const std::string& what) {
+    if (ok_) {
+      ok_ = false;
+      error_ = what;
+    }
+  }
+
+  // --- primitives ------------------------------------------------------
+
+  /// Integers (any width, any signedness) travel as 64-bit little-endian
+  /// words: fixed-size framing beats compactness for a format that must be
+  /// diffable and version-checkable.
+  template <std::integral T>
+  void io(T& v) {
+    if (saving()) {
+      put_u64(static_cast<std::uint64_t>(v));
+    } else {
+      v = static_cast<T>(get_u64());
+    }
+  }
+
+  void io(bool& v) {
+    if (saving()) {
+      put_u64(v ? 1 : 0);
+    } else {
+      v = get_u64() != 0;
+    }
+  }
+
+  /// Doubles travel as their exact bit pattern — the resume contract is bit
+  /// identity, so no text round-trip is ever allowed near a double.
+  void io(double& v) {
+    if (saving()) {
+      put_u64(std::bit_cast<std::uint64_t>(v));
+    } else {
+      v = std::bit_cast<double>(get_u64());
+    }
+  }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  void io(E& e) {
+    if (saving()) {
+      put_u64(static_cast<std::uint64_t>(
+          static_cast<std::underlying_type_t<E>>(e)));
+    } else {
+      e = static_cast<E>(static_cast<std::underlying_type_t<E>>(get_u64()));
+    }
+  }
+
+  void io(std::string& sv) {
+    std::uint64_t n = sv.size();
+    io(n);
+    if (loading()) {
+      if (n > remaining()) {
+        fail("string length exceeds payload");
+        sv.clear();
+        return;
+      }
+      sv.assign(reinterpret_cast<const char*>(buf_.data() + cursor_),
+                static_cast<std::size_t>(n));
+      cursor_ += static_cast<std::size_t>(n);
+    } else {
+      buf_.insert(buf_.end(), sv.begin(), sv.end());
+    }
+  }
+
+  /// Raw bytes, caller-sized (bulk state like memory pages). On a failed or
+  /// truncated load the destination is zero-filled.
+  void io_bytes(void* p, std::size_t n) {
+    if (saving()) {
+      const auto* b = static_cast<const std::uint8_t*>(p);
+      buf_.insert(buf_.end(), b, b + n);
+    } else {
+      if (!ok_ || remaining() < n) {
+        fail("byte run exceeds payload");
+        std::memset(p, 0, n);
+        return;
+      }
+      std::memcpy(p, buf_.data() + cursor_, n);
+      cursor_ += n;
+    }
+  }
+
+  /// Length-prefixed vector of scalars. On load the vector is resized to
+  /// the stored length (bounded by the remaining payload, so a hostile
+  /// length cannot balloon memory).
+  template <typename T>
+  void io_vec(std::vector<T>& v) {
+    std::uint64_t n = v.size();
+    io(n);
+    if (loading()) {
+      if (!bounded_count(n)) {
+        v.clear();
+        return;
+      }
+      v.resize(static_cast<std::size_t>(n));
+    }
+    for (auto& e : v) io(e);
+  }
+
+  /// Shape verification: saves the value; on load compares it against the
+  /// live machine's value and fails (pre-mutation) on mismatch. Used for
+  /// everything the machine derives from its config — thread counts, window
+  /// sizes, program length — so a checkpoint from a different machine is
+  /// refused before any state is touched.
+  template <std::integral T>
+  void check(T v, const char* what) {
+    if (saving()) {
+      put_u64(static_cast<std::uint64_t>(v));
+      return;
+    }
+    const std::uint64_t got = get_u64();
+    if (ok_ && got != static_cast<std::uint64_t>(v)) {
+      fail(std::string("shape mismatch: ") + what);
+    }
+  }
+
+  /// True iff a stored element count can fit in the remaining payload
+  /// (every element costs at least one 64-bit word). Fails when not.
+  bool bounded_count(std::uint64_t n) {
+    if (!ok_) return false;
+    if (n > remaining() / 8) {
+      fail("element count exceeds payload");
+      return false;
+    }
+    return true;
+  }
+
+  // --- sections --------------------------------------------------------
+  // Frame: [u32 name_len][name][u64 payload_len][payload][u64 fnv1a].
+  // Single level, fixed order; a name mismatch on load means the writer and
+  // reader disagree about the component sequence and the load fails before
+  // that component's state is applied.
+
+  void begin_section(std::string_view name) {
+    if (!ok_) return;
+    if (in_section_) {
+      fail("nested section");
+      return;
+    }
+    in_section_ = true;
+    if (saving()) {
+      put_u32(static_cast<std::uint32_t>(name.size()));
+      buf_.insert(buf_.end(), name.begin(), name.end());
+      put_u64(0);  // length placeholder, patched by end_section()
+      section_start_ = buf_.size();
+      return;
+    }
+    const std::uint32_t len = get_u32();
+    if (!ok_ || len > 255 || remaining() < len) {
+      fail("malformed section name");
+      return;
+    }
+    const std::string_view got(
+        reinterpret_cast<const char*>(buf_.data() + cursor_), len);
+    if (got != name) {
+      fail("section order mismatch: expected '" + std::string(name) +
+           "', found '" + std::string(got) + "'");
+      return;
+    }
+    cursor_ += len;
+    const std::uint64_t plen = get_u64();
+    if (!ok_ || remaining() < plen + 8) {
+      fail("section '" + std::string(name) + "' exceeds payload");
+      return;
+    }
+    section_start_ = cursor_;
+    section_end_ = cursor_ + static_cast<std::size_t>(plen);
+  }
+
+  void end_section() {
+    if (!in_section_) {
+      if (ok_) fail("end_section without begin_section");
+      return;
+    }
+    in_section_ = false;
+    if (!ok_) return;
+    if (saving()) {
+      const std::uint64_t plen = buf_.size() - section_start_;
+      std::memcpy(buf_.data() + section_start_ - 8, &plen, 8);
+      put_u64(fnv1a_bytes(buf_.data() + section_start_,
+                          static_cast<std::size_t>(plen)));
+      return;
+    }
+    if (cursor_ != section_end_) {
+      fail("section size mismatch (component read a different amount than "
+           "was written)");
+      return;
+    }
+    const std::uint64_t want = fnv1a_bytes(buf_.data() + section_start_,
+                                           section_end_ - section_start_);
+    const std::uint64_t got = get_u64();
+    if (ok_ && got != want) fail("section checksum mismatch");
+  }
+
+  /// The assembled payload (save mode, after all sections are closed).
+  std::vector<std::uint8_t> take_payload() { return std::move(buf_); }
+
+ private:
+  std::size_t remaining() const { return buf_.size() - cursor_; }
+
+  void put_u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    std::memcpy(b, &v, 8);  // host is little-endian; format is little-endian
+    buf_.insert(buf_.end(), b, b + 8);
+  }
+  void put_u32(std::uint32_t v) {
+    std::uint8_t b[4];
+    std::memcpy(b, &v, 4);
+    buf_.insert(buf_.end(), b, b + 4);
+  }
+  std::uint64_t get_u64() {
+    if (!ok_ || remaining() < 8) {
+      fail("read past end of payload");
+      return 0;
+    }
+    std::uint64_t v;
+    std::memcpy(&v, buf_.data() + cursor_, 8);
+    cursor_ += 8;
+    return v;
+  }
+  std::uint32_t get_u32() {
+    if (!ok_ || remaining() < 4) {
+      fail("read past end of payload");
+      return 0;
+    }
+    std::uint32_t v;
+    std::memcpy(&v, buf_.data() + cursor_, 4);
+    cursor_ += 4;
+    return v;
+  }
+
+  Mode mode_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t cursor_ = 0;
+  bool ok_ = true;
+  std::string error_;
+  bool in_section_ = false;
+  std::size_t section_start_ = 0;
+  std::size_t section_end_ = 0;
+};
+
+// --- file layer (csmt_ckpt library) -------------------------------------
+
+/// Result of reading a checkpoint file. `ok == false` means the file was
+/// missing, truncated, corrupted, or written by another format version; the
+/// payload is empty and no state may be restored from it.
+struct ReadResult {
+  bool ok = false;
+  std::string error;
+  CheckpointMeta meta;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Atomically writes `payload` under a validated header (write to a
+/// temporary, then rename) so a crash mid-write never leaves a torn
+/// checkpoint. Returns false (with `*error` set) on I/O failure.
+bool write_checkpoint(const std::string& path, const CheckpointMeta& meta,
+                      const std::vector<std::uint8_t>& payload,
+                      std::string* error);
+
+/// Reads and fully validates a checkpoint: magic, format version, header
+/// checksum, payload size, and every section checksum — all before the
+/// caller applies any state. Any violation yields ok == false with a
+/// human-readable reason.
+ReadResult read_checkpoint(const std::string& path);
+
+}  // namespace csmt::ckpt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.hpp"
 #include "common/assert.hpp"
 
 namespace csmt::core {
@@ -706,6 +707,154 @@ std::string Cluster::debug_dump(Cycle now) const {
     }
   }
   return out;
+}
+
+void Cluster::serialize(ckpt::Serializer& s) {
+  // Shape first: a checkpoint for a differently configured cluster must be
+  // refused before any state is applied.
+  s.check(threads_.size(), "cluster threads");
+  s.check(slots_.size(), "cluster rob entries");
+  for (auto& t : threads_) {
+    s.check(t.tc->tid(), "cluster thread binding");
+  }
+
+  for (auto& t : threads_) {
+    s.io(t.blocked_on);
+    s.io(t.blocked_gen);
+    s.io(t.blocked_sync);
+    s.io(t.was_sync_blocked);
+    s.io(t.wake_at);
+    for (auto& e : t.int_map) {
+      s.io(e.producer);
+      s.io(e.gen);
+      s.io(e.is_load);
+    }
+    for (auto& e : t.fp_map) {
+      s.io(e.producer);
+      s.io(e.gen);
+      s.io(e.is_load);
+    }
+    s.io(t.window_count);
+    s.io(t.in_sync);
+    t.rob.serialize(s);
+    s.io(t.obs_state);
+    s.io(t.obs_since);
+  }
+
+  for (auto& u : slots_) {
+    // DynInst: every field but the static-instruction pointer, which is
+    // rebuilt below from the static index (dyn.pc) via the owning thread's
+    // program — pointers never touch the file.
+    s.io(u.dyn.seq);
+    s.io(u.dyn.tid);
+    s.io(u.dyn.pc);
+    s.io(u.dyn.next_pc);
+    s.io(u.dyn.mem_addr);
+    s.io(u.dyn.branch_taken);
+    s.io(u.gen);
+    s.io(u.hw_thread);
+    s.io(u.dispatched_at);
+    s.io(u.complete_at);
+    for (auto& d : u.src) {
+      s.io(d.producer);
+      s.io(d.gen);
+      s.io(d.producer_is_load);
+    }
+    s.io(u.fu);
+    s.io(u.latency);
+    s.io(u.is_load);
+    s.io(u.is_store);
+    s.io(u.is_atomic);
+    s.io(u.sync);
+    s.io(u.live);
+    s.io(u.issued);
+    s.io(u.holds_int_rename);
+    s.io(u.holds_fp_rename);
+    s.io(u.mispredicted);
+    if (s.loading()) {
+      u.dyn.inst = nullptr;
+      if (u.live) {
+        if (u.hw_thread >= threads_.size()) {
+          s.fail("uop bound to a missing hardware thread");
+        } else {
+          const isa::Program& prog = threads_[u.hw_thread].tc->program();
+          if (u.dyn.pc >= prog.size()) {
+            s.fail("in-flight uop pc beyond program end");
+            u.live = false;
+          } else {
+            u.dyn.inst = &prog.at(u.dyn.pc);
+          }
+        }
+      }
+    }
+  }
+
+  {
+    std::uint64_t n = free_slots_.size();
+    s.io(n);
+    if (s.loading()) {
+      if (!s.bounded_count(n) || n > slots_.size()) {
+        s.fail("free list larger than the slot array");
+        free_slots_.clear();
+      } else {
+        free_slots_.resize(static_cast<std::size_t>(n));
+      }
+    }
+    for (auto& v : free_slots_) s.io(v);
+  }
+  {
+    std::uint64_t n = iq_.size();
+    s.io(n);
+    if (s.loading()) {
+      if (!s.bounded_count(n) || n > cfg_.iq_entries) {
+        s.fail("iq larger than configured");
+        iq_.clear();
+      } else {
+        iq_.resize(static_cast<std::size_t>(n));
+      }
+    }
+    for (auto& v : iq_) s.io(v);
+  }
+
+  s.io(int_rename_used_);
+  s.io(fp_rename_used_);
+  s.io(fetch_rr_);
+  s.io(commit_rr_);
+  s.io(last_running_);
+
+  for (auto& v : cycle_hist_) s.io(v);
+  s.io(issued_useful_);
+  s.io(issued_sync_);
+  s.io(dispatch_stalled_);
+
+  s.io(active_);
+  for (auto& row : quiet_delta_) {
+    for (auto& v : row) s.io(v);
+  }
+  s.io(quiet_fallback_stall_);
+  {
+    std::uint64_t n = quiet_stall_if_selected_.size();
+    s.io(n);
+    if (s.loading()) {
+      if (!s.bounded_count(n) || n > threads_.size()) {
+        s.fail("quiet plan larger than the thread count");
+        quiet_stall_if_selected_.clear();
+      } else {
+        quiet_stall_if_selected_.resize(static_cast<std::size_t>(n));
+      }
+    }
+    for (auto& v : quiet_stall_if_selected_) s.io(v);
+  }
+
+  stats_.slots.serialize(s);
+  s.io(stats_.cycles);
+  s.io(stats_.fetched);
+  s.io(stats_.issued);
+  s.io(stats_.committed_useful);
+  s.io(stats_.committed_sync);
+  s.io(stats_.mem_rejections);
+  s.io(stats_.dispatch_stall_cycles);
+  predictor_.serialize(s);
 }
 
 }  // namespace csmt::core

@@ -24,6 +24,10 @@
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
+namespace csmt::ckpt {
+class Serializer;
+}
+
 namespace csmt::core {
 
 inline constexpr std::uint16_t kNoUop = 0xFFFF;
@@ -83,6 +87,23 @@ class UopFifo {
     ++head_;
     if (head_ == buf_.size()) head_ = 0;
     --count_;
+  }
+
+  /// Checkpoint visitor (ckpt::Serializer). The ring buffer travels
+  /// verbatim (including dead slots — init() zeroed them, so the bytes are
+  /// deterministic); capacity is config and only checked.
+  template <class Serializer>
+  void serialize(Serializer& s) {
+    s.check(buf_.size(), "rob capacity");
+    for (auto& v : buf_) s.io(v);
+    s.io(head_);
+    s.io(count_);
+    if (s.loading() &&
+        (count_ > buf_.size() || (head_ >= buf_.size() && !buf_.empty()))) {
+      s.fail("rob cursor out of range");
+      head_ = 0;
+      count_ = 0;
+    }
   }
 
  private:
@@ -154,6 +175,13 @@ class Cluster {
 
   /// Closes the open per-thread state slices at end of run (tracing only).
   void trace_flush(Cycle end);
+
+  /// Checkpoint visitor (DESIGN.md §10): thread slots (rename maps, ROBs,
+  /// block/wake state), the in-flight uop array, IQ, free list, round-robin
+  /// pointers, quiescence replay plan, and statistics. In-flight
+  /// instruction pointers are rebuilt from static indices through each
+  /// thread's program.
+  void serialize(ckpt::Serializer& s);
 
   const ClusterStats& stats() const { return stats_; }
   const branch::PredictorStats& predictor_stats() const {

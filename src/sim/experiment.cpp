@@ -20,6 +20,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   mc.chips = spec.chips;
   mc.metrics_interval = spec.metrics_interval;
   mc.no_skip = spec.no_skip;
+  mc.ckpt_interval = spec.ckpt_interval;
+  mc.ckpt_path = spec.ckpt_path;
+  mc.ckpt_spec_hash = spec.ckpt_tag;
 
   std::optional<obs::ChromeTraceWriter> writer;
   if (!spec.trace_path.empty()) {
@@ -47,6 +50,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   obs::WallTimer timer;
   result.stats = machine.run(build.program, memory, build.args_base);
   result.sim_speed.wall_seconds = timer.elapsed_seconds();
+  result.resumed_from_cycle = machine.resumed_from_cycle();
   if (writer) writer->finish();
 
   result.sim_speed.measured = true;

@@ -1,5 +1,8 @@
 #include "sim/machine.hpp"
 
+#include <cstdio>
+
+#include "ckpt/serializer.hpp"
 #include "common/assert.hpp"
 #include "sim/scheduler.hpp"
 
@@ -68,6 +71,59 @@ void Machine::trace_flush(Cycle end) {
   for (auto& chip : chips_) chip->trace_flush(end);
 }
 
+void Machine::ckpt_shape(ckpt::Serializer& s, const exec::ThreadGroup& group) {
+  s.begin_section("shape");
+  s.check(cfg_.chips, "chip count");
+  s.check(cfg_.arch.clusters, "clusters per chip");
+  s.check(cfg_.arch.cluster.threads, "threads per cluster");
+  s.check(cfg_.arch.cluster.rob_entries, "rob entries");
+  s.check(cfg_.arch.cluster.iq_entries, "iq entries");
+  s.check(group.size(), "software threads");
+  s.check(group.thread(0).program().size(), "program length");
+  s.check(cfg_.metrics_interval, "metrics interval");
+  s.check(static_cast<unsigned>(dash_ ? 1 : 0), "interconnect kind");
+  s.end_section();
+}
+
+void Machine::ckpt_io(ckpt::Serializer& s, exec::ThreadGroup& group,
+                      mem::PagedMemory& memory, obs::EpochSampler& sampler,
+                      Scheduler& sched) {
+  ckpt_shape(s, group);
+  if (!s.ok()) return;
+
+  s.begin_section("sched");
+  sched.serialize(s);
+  s.end_section();
+
+  s.begin_section("sampler");
+  sampler.serialize(s);
+  s.end_section();
+
+  s.begin_section("threads");
+  group.serialize(s);
+  s.end_section();
+
+  s.begin_section("memory");
+  memory.serialize(s);
+  s.end_section();
+
+  for (unsigned c = 0; c < chips_.size() && s.ok(); ++c) {
+    const std::string name = "chip" + std::to_string(c);
+    s.begin_section(name);
+    chips_[c]->memsys().serialize(s);
+    for (unsigned j = 0; j < chips_[c]->num_clusters(); ++j) {
+      chips_[c]->cluster(j).serialize(s);
+    }
+    s.end_section();
+  }
+
+  if (dash_) {
+    s.begin_section("dash");
+    dash_->serialize(s);
+    s.end_section();
+  }
+}
+
 RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
                       Addr args_base) {
   const unsigned nthreads = cfg_.total_threads();
@@ -86,6 +142,63 @@ RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
     group.sync().set_trace(cfg_.trace, sched.clock());
     trace_name_sync_tracks(group);
   }
+
+  resumed_from_cycle_ = 0;
+  const bool ckpt_on = cfg_.ckpt_interval > 0 && !cfg_.ckpt_path.empty();
+  if (ckpt_on) {
+    // Resume: the file layer has already validated magic, version, and
+    // every checksum; the shape pre-pass then rejects a checkpoint of a
+    // different machine before any live state is touched.
+    ckpt::ReadResult rr = ckpt::read_checkpoint(cfg_.ckpt_path);
+    if (rr.ok && rr.meta.spec_hash != cfg_.ckpt_spec_hash) {
+      rr.ok = false;
+      rr.error = "spec hash mismatch (checkpoint is for a different run)";
+    }
+    if (rr.ok) {
+      ckpt::Serializer pre(rr.payload);
+      ckpt_shape(pre, group);
+      if (!pre.ok()) {
+        rr.ok = false;
+        rr.error = pre.error();
+      }
+    }
+    if (rr.ok) {
+      ckpt::Serializer s(std::move(rr.payload));
+      ckpt_io(s, group, memory, sampler, sched);
+      if (s.ok()) {
+        resumed_from_cycle_ = rr.meta.cycle;
+      } else {
+        // Only reachable from a checksum-valid payload with inconsistent
+        // contents (i.e. a deliberately crafted file): the load is clamped
+        // and UB-free, but the state is not trustworthy, so say so.
+        std::fprintf(stderr,
+                     "csmt: checkpoint restore failed mid-load (%s); "
+                     "delete %s and rerun\n",
+                     s.error().c_str(), cfg_.ckpt_path.c_str());
+      }
+    } else if (rr.error.rfind("cannot open", 0) != 0) {
+      // A missing file is the normal fresh start and stays silent; anything
+      // else (corruption, version skew, wrong run) is worth a warning.
+      std::fprintf(stderr,
+                   "csmt: ignoring checkpoint %s (%s); starting fresh\n",
+                   cfg_.ckpt_path.c_str(), rr.error.c_str());
+    }
+    // Arm *after* any restore so the next snapshot lands on the first
+    // interval boundary beyond the resume point.
+    sched.set_checkpoint(cfg_.ckpt_interval, [&](Cycle now) {
+      ckpt::Serializer s;
+      ckpt_io(s, group, memory, sampler, sched);
+      ckpt::CheckpointMeta meta;
+      meta.spec_hash = cfg_.ckpt_spec_hash;
+      meta.cycle = now;
+      std::string err;
+      if (!ckpt::write_checkpoint(cfg_.ckpt_path, meta, s.take_payload(),
+                                  &err)) {
+        std::fprintf(stderr, "csmt: checkpoint write failed: %s\n",
+                     err.c_str());
+      }
+    });
+  }
   const Scheduler::Result r = sched.run();
 
   if (cfg_.trace) trace_flush(r.cycles);
@@ -97,6 +210,11 @@ RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
 }
 
 MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
+  if (cfg_.ckpt_interval > 0 && !cfg_.ckpt_path.empty()) {
+    std::fprintf(stderr,
+                 "csmt: checkpointing is not supported for multiprogrammed "
+                 "runs; ignoring ckpt_interval\n");
+  }
   unsigned total = 0;
   for (const Job& j : jobs) total += j.threads;
   CSMT_ASSERT_MSG(total == cfg_.total_threads(),

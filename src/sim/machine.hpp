@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cache/backend.hpp"
@@ -17,7 +18,13 @@
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
+namespace csmt::ckpt {
+class Serializer;
+}
+
 namespace csmt::sim {
+
+class Scheduler;
 
 struct MachineConfig {
   core::ArchConfig arch;
@@ -41,6 +48,18 @@ struct MachineConfig {
   obs::PhaseProfiler* profiler = nullptr;
   /// Epoch length for interval metrics, in cycles; 0 = no epochs.
   Cycle metrics_interval = 0;
+
+  // --- checkpoint/restore (csmt::ckpt, DESIGN.md §10; off by default,
+  // zero-cost when off: with interval 0 the run loop never tests the clock
+  // against a checkpoint horizon) ---
+  /// Snapshot the full machine state every this many cycles; 0 = off.
+  Cycle ckpt_interval = 0;
+  /// Checkpoint file. run() resumes from it when it holds a valid snapshot
+  /// for this run, and overwrites it (atomically) at each interval.
+  std::string ckpt_path;
+  /// Identity tag written into the header (sweep uses its spec hash); a
+  /// checkpoint whose tag differs is ignored, not an error.
+  std::uint64_t ckpt_spec_hash = 0;
 
   /// Hardware thread contexts across the machine — the paper creates
   /// exactly this many software threads (§4).
@@ -132,10 +151,24 @@ class Machine {
   /// feeds SimSpeed, never RunStats.
   Cycle quiet_cycles() const { return quiet_cycles_; }
 
+  /// Cycle the last run() resumed from (0 = started fresh: the first
+  /// snapshot is taken at cycle ckpt_interval >= 1, so 0 is unambiguous).
+  Cycle resumed_from_cycle() const { return resumed_from_cycle_; }
+
  private:
   friend class Scheduler;
 
   RunStats collect_stats(Cycle cycles, double running_accum, bool timed_out);
+
+  /// The "shape" checkpoint section alone: everything the machine derives
+  /// from its config. Run as a pre-pass over the payload so a stale or
+  /// mismatched checkpoint is rejected before any state is touched.
+  void ckpt_shape(ckpt::Serializer& s, const exec::ThreadGroup& group);
+  /// Full checkpoint visit (both directions): shape, scheduler, sampler,
+  /// threads + sync, functional memory, per-chip memsys + clusters, DASH.
+  void ckpt_io(ckpt::Serializer& s, exec::ThreadGroup& group,
+               mem::PagedMemory& memory, obs::EpochSampler& sampler,
+               Scheduler& sched);
 
   // --- Scheduler-facing stepping interface ---
   bool all_finished() const;
@@ -161,6 +194,7 @@ class Machine {
   std::unique_ptr<noc::DashInterconnect> dash_;
   std::vector<std::unique_ptr<core::Chip>> chips_;
   Cycle quiet_cycles_ = 0;
+  Cycle resumed_from_cycle_ = 0;
 };
 
 }  // namespace csmt::sim

@@ -246,6 +246,7 @@ json::Value to_json(const ExperimentResult& r) {
   out["spec"] = std::move(spec);
   out["stats"] = std::move(stats);
   out["validated"] = r.validated;
+  out["resumed_from_cycle"] = r.resumed_from_cycle;
   if (r.sim_speed.measured) {
     json::Value speed = json::Value::object();
     speed["wall_seconds"] = r.sim_speed.wall_seconds;
@@ -427,6 +428,10 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
   }
 
   r.validated = validated->as_bool();
+  // Optional (absent in documents written before csmt::ckpt existed).
+  if (const json::Value* res = v.find("resumed_from_cycle")) {
+    r.resumed_from_cycle = res->as_u64();
+  }
   return r;
 }
 

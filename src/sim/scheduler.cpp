@@ -1,31 +1,58 @@
 #include "sim/scheduler.hpp"
 
+#include "ckpt/serializer.hpp"
 #include "sim/machine.hpp"
 
 namespace csmt::sim {
+
+void Scheduler::set_checkpoint(Cycle interval, std::function<void(Cycle)> save) {
+  ckpt_interval_ = interval;
+  save_fn_ = std::move(save);
+  if (interval == 0 || !save_fn_) {
+    ckpt_interval_ = 0;
+    next_ckpt_ = kNeverCycle;
+    save_fn_ = nullptr;
+    return;
+  }
+  // First snapshot at the first multiple of `interval` strictly beyond the
+  // current clock (which is the restore point after a resume, or 0 fresh).
+  next_ckpt_ = (now_ / interval + 1) * interval;
+}
+
+void Scheduler::serialize(ckpt::Serializer& s) {
+  s.io(now_);
+  s.io(quiet_cycles_);
+  s.io(inactive_streak_);
+  s.io(probe_defer_);
+  s.io(running_accum_);
+  s.io(last_running_traced_);
+  s.io(check_finished_);
+}
 
 Scheduler::Result Scheduler::run(
     const std::function<void(Cycle)>& after_tick) {
   const MachineConfig& cfg = m_.config();
   Result out;
-  std::int64_t last_running_traced = -1;
-  // A quiescent tick cannot finish the machine (finishing requires a halt
-  // commit, which is an active tick), so the finish check only needs to run
-  // after active ticks. `true` initially: nothing has ticked yet.
-  bool check_finished = true;
   while (true) {
-    if (check_finished && m_.all_finished()) break;
+    if (check_finished_ && m_.all_finished()) break;
     if (now_ >= cfg.max_cycles) {
       out.timed_out = true;
       break;
     }
+    // The snapshot point: past both exit checks, before the tick. The
+    // machine state here is exactly the loop-header state, so a restored
+    // run re-enters this loop and replays the identical suffix.
+    if (now_ >= next_ckpt_) {
+      save_fn_(now_);
+      while (next_ckpt_ <= now_) next_ckpt_ += ckpt_interval_;
+    }
     const bool active = m_.tick_chips(now_);
-    check_finished = active;
+    check_finished_ = active;
     const unsigned running = m_.running_now();
-    out.running_accum += running;
-    if (cfg.trace && running != last_running_traced) {
+    running_accum_ += running;
+    if (cfg.trace && running != last_running_traced_) {
       cfg.trace->counter({0, 0}, "running_threads", now_, running);
-      last_running_traced = running;
+      last_running_traced_ = running;
     }
     ++now_;
     if (sampler_.enabled()) {
@@ -40,7 +67,7 @@ Scheduler::Result Scheduler::run(
       continue;
     }
     if (m_.all_finished()) {  // drained: let the loop header exit
-      check_finished = true;
+      check_finished_ = true;
       continue;
     }
     // The whole machine is quiescent: every live thread is blocked on a
@@ -53,8 +80,11 @@ Scheduler::Result Scheduler::run(
     // deadlocked machine times out at exactly max_cycles — replaying each
     // skipped cycle's accounting through the cheap quiet path. The
     // running-thread count is constant across the span by construction.
+    // A pending checkpoint also clamps the span: the snapshot must observe
+    // the loop-header state at its scheduled cycle, not the post-span one.
     const Cycle horizon = m_.next_event(now_ - 1);
-    const Cycle stop = horizon < cfg.max_cycles ? horizon : cfg.max_cycles;
+    Cycle stop = horizon < cfg.max_cycles ? horizon : cfg.max_cycles;
+    if (next_ckpt_ < stop) stop = next_ckpt_;
     if (stop < now_ + kShortSpan) {
       probe_defer_ = probe_defer_ == 0
                          ? 1
@@ -66,7 +96,7 @@ Scheduler::Result Scheduler::run(
     inactive_streak_ = 0;
     while (now_ < stop) {
       m_.quiet_tick_chips(now_);
-      out.running_accum += running;
+      running_accum_ += running;
       ++quiet_cycles_;
       ++now_;
       if (sampler_.enabled()) {
@@ -76,6 +106,7 @@ Scheduler::Result Scheduler::run(
     }
   }
   out.cycles = now_;
+  out.running_accum = running_accum_;
   return out;
 }
 

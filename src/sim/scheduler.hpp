@@ -29,6 +29,10 @@
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 
+namespace csmt::ckpt {
+class Serializer;
+}
+
 namespace csmt::sim {
 
 class Machine;
@@ -63,6 +67,20 @@ class Scheduler {
   /// is not called for skipped cycles.
   Result run(const std::function<void(Cycle)>& after_tick = {});
 
+  /// Arms periodic checkpointing: `save` runs at the top of the run loop —
+  /// after the finish/watchdog checks, before the tick — whenever the clock
+  /// reaches the next multiple of `interval`. Call *after* any restore: the
+  /// first snapshot lands on the first multiple strictly beyond the current
+  /// clock, so a resumed run never re-saves the cycle it resumed from.
+  /// interval 0 disarms (the default; the hot loop then never tests the
+  /// clock against a checkpoint horizon).
+  void set_checkpoint(Cycle interval, std::function<void(Cycle)> save);
+
+  /// Checkpoint visitor (DESIGN.md §10): the clock plus every run-loop
+  /// accumulator that survives across iterations, so a resumed loop is in
+  /// the bit-exact state the saving loop was in at its header.
+  void serialize(ckpt::Serializer& s);
+
  private:
   /// A probe that skips at least this many cycles paid for itself; shorter
   /// (zero-yield) probes raise the deferral threshold. With the component
@@ -80,6 +98,22 @@ class Scheduler {
   Cycle quiet_cycles_ = 0;
   Cycle inactive_streak_ = 0;  ///< consecutive quiescent full ticks
   Cycle probe_defer_ = 0;      ///< quiescent ticks to absorb before probing
+
+  // Run-loop carry state. These were locals of run(); they are members so a
+  // checkpoint taken at the loop header captures them and a restored
+  // scheduler re-enters the loop exactly where the saving one stood.
+  double running_accum_ = 0.0;
+  std::int64_t last_running_traced_ = -1;
+  // A quiescent tick cannot finish the machine (finishing requires a halt
+  // commit, which is an active tick), so the finish check only needs to run
+  // after active ticks. `true` initially: nothing has ticked yet.
+  bool check_finished_ = true;
+
+  // Checkpoint schedule (set_checkpoint). next_ckpt_ = kNeverCycle when
+  // disarmed, so the armed test in the loop stays a single compare.
+  Cycle ckpt_interval_ = 0;
+  Cycle next_ckpt_ = kNeverCycle;
+  std::function<void(Cycle)> save_fn_;
 };
 
 }  // namespace csmt::sim

@@ -72,6 +72,32 @@ unsigned jobs_from_env() {
   return v ? v : ThreadPool::hardware_default();
 }
 
+Cycle ckpt_interval_from_env() {
+  const char* s = std::getenv("CSMT_CKPT_INTERVAL");
+  if (!s || !*s) return 0;
+  Cycle v = 0;
+  const char* end = s + std::strlen(s);
+  const auto [p, ec] = std::from_chars(s, end, v);
+  if (ec != std::errc() || p != end || v == 0) {
+    std::fprintf(stderr,
+                 "csmt: ignoring invalid CSMT_CKPT_INTERVAL='%s' (want a "
+                 "cycle count >= 1)\n",
+                 s);
+    return 0;
+  }
+  return v;
+}
+
+/// Checkpoint file ("<cache_dir>/ckpt/csmt-<16 hex digits>.ckpt") of a
+/// point, keyed like its result-cache entry.
+std::string ckpt_entry_path(const std::string& cache_dir,
+                            std::uint64_t hash) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "csmt-%016llx.ckpt",
+                static_cast<unsigned long long>(hash));
+  return (fs::path(cache_dir) / "ckpt" / buf).string();
+}
+
 }  // namespace
 
 std::vector<sim::ExperimentSpec> SweepSpec::expand() const {
@@ -105,6 +131,7 @@ SweepOptions SweepOptions::from_env() {
   if (const char* dir = std::getenv("CSMT_CACHE_DIR")) {
     options.cache_dir = dir;
   }
+  options.ckpt_interval = ckpt_interval_from_env();
   return options;
 }
 
@@ -147,15 +174,29 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
   const obs::WallTimer sweep_timer;
   std::atomic<std::uint64_t> done{0};
   std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> resumed{0};
   auto emit_progress = [&](bool final_line) {
     if (!options_.progress || points.empty()) return;
-    std::fprintf(stderr,
-                 "\rcsmt sweep: %llu/%zu done (hits=%llu) elapsed=%.1fs%s",
-                 static_cast<unsigned long long>(done.load()), points.size(),
-                 static_cast<unsigned long long>(hits.load()),
-                 sweep_timer.elapsed_seconds(), final_line ? "\n" : "");
+    std::fprintf(
+        stderr,
+        "\rcsmt sweep: %llu/%zu done, %llu resumed (hits=%llu) "
+        "elapsed=%.1fs%s",
+        static_cast<unsigned long long>(done.load()), points.size(),
+        static_cast<unsigned long long>(resumed.load()),
+        static_cast<unsigned long long>(hits.load()),
+        sweep_timer.elapsed_seconds(), final_line ? "\n" : "");
     std::fflush(stderr);
   };
+
+  // Checkpointing needs a durable directory to park snapshots in, so it
+  // rides on the result cache (a completed point's checkpoint is deleted —
+  // the cache entry supersedes it).
+  const bool ckpt_on =
+      options_.ckpt_interval > 0 && !options_.cache_dir.empty();
+  if (ckpt_on) {
+    std::error_code ec;
+    fs::create_directories(fs::path(options_.cache_dir) / "ckpt", ec);
+  }
 
   // Cache probes are serial (they are file reads, not simulations); only
   // the misses go to the pool. Each worker writes results[i], so ordering
@@ -174,17 +215,36 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
   }
 
   if (!misses.empty()) {
+    // Each miss gets its own checkpoint file keyed like its cache entry;
+    // run_experiment resumes from it if a previous (killed) invocation
+    // left a valid snapshot behind.
+    std::vector<sim::ExperimentSpec> to_run(points.begin(), points.end());
+    if (ckpt_on) {
+      for (const std::size_t i : misses) {
+        const std::uint64_t hash = spec_hash(to_run[i]);
+        to_run[i].ckpt_interval = options_.ckpt_interval;
+        to_run[i].ckpt_path = ckpt_entry_path(options_.cache_dir, hash);
+        to_run[i].ckpt_tag = hash;
+      }
+    }
     ThreadPool pool(std::min<std::size_t>(options_.jobs, misses.size()));
     for (const std::size_t i : misses) {
-      pool.submit([this, i, &points, &results, &done, &emit_progress] {
-        results[i] = sim::run_experiment(points[i]);
+      pool.submit([this, i, &to_run, &results, &done, &resumed,
+                   &emit_progress] {
+        results[i] = sim::run_experiment(to_run[i]);
+        if (results[i].resumed_from_cycle > 0) ++resumed;
         cache_store(results[i]);
+        if (!to_run[i].ckpt_path.empty()) {
+          std::error_code ec;
+          fs::remove(to_run[i].ckpt_path, ec);
+        }
         ++done;
         emit_progress(false);
       });
     }
     pool.wait_idle();
     counters_.executed += misses.size();
+    counters_.resumed += resumed.load();
   }
 
   emit_progress(true);

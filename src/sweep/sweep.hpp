@@ -42,12 +42,18 @@ struct SweepOptions {
   unsigned jobs = 1;
   /// Result-cache directory; empty disables caching.
   std::string cache_dir;
-  /// Progress line on stderr: "k/N done (hits=H) elapsed=Xs".
+  /// Progress line on stderr: "k/N done, r resumed (hits=H) elapsed=Xs".
   bool progress = true;
+  /// Fault tolerance (csmt::ckpt): snapshot every running point's machine
+  /// state at this cycle interval under <cache_dir>/ckpt/, resume any point
+  /// with a valid checkpoint on the next invocation, and delete the
+  /// checkpoint once the point completes (the result cache then serves it).
+  /// 0 = off; requires a cache_dir.
+  Cycle ckpt_interval = 0;
 
-  /// Environment defaults: CSMT_JOBS (count, or 0 for hardware width) and
-  /// CSMT_CACHE_DIR (directory path). Malformed values warn and are
-  /// ignored.
+  /// Environment defaults: CSMT_JOBS (count, or 0 for hardware width),
+  /// CSMT_CACHE_DIR (directory path), and CSMT_CKPT_INTERVAL (cycles
+  /// between checkpoints, >= 1). Malformed values warn and are ignored.
   static SweepOptions from_env();
 };
 
@@ -55,6 +61,7 @@ struct SweepOptions {
 struct SweepCounters {
   std::uint64_t executed = 0;    ///< points actually simulated
   std::uint64_t cache_hits = 0;  ///< points served from the result cache
+  std::uint64_t resumed = 0;     ///< executed points resumed from a checkpoint
 };
 
 /// Stable 64-bit key of an experiment point: FNV-1a over a canonical

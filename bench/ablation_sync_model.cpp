@@ -95,7 +95,11 @@ int main() {
         memory.write(args + 8, data);
         for (unsigned i = 0; i < kN; ++i)
           memory.write_double(data + 8ull * i, 1.0 + 1e-3 * i);
-        const auto stats = machine.run(kernel(spin, kN, kPhases), memory, args);
+        const auto stats =
+            machine
+                .run(sim::Mix::single(kernel(spin, kN, kPhases), memory,
+                                      args, mc.total_threads()))
+                .combined;
         t.row({core::arch_name(arch), std::to_string(chips),
                spin ? "spin loops" : "blocking",
                format_count(stats.cycles),

@@ -23,6 +23,8 @@
 #include <unistd.h>
 #endif
 
+#include "cli/options.hpp"
+#include "cli/parse.hpp"
 #include "isa/builder.hpp"
 #include "mem/paged_memory.hpp"
 #include "sim/experiment.hpp"
@@ -135,32 +137,14 @@ inline bool stats_match(const sim::RunStats& a, const sim::RunStats& b) {
 }
 
 inline unsigned scale_from_env(unsigned fallback = 4) {
-  if (const char* s = std::getenv("CSMT_SCALE")) {
-    unsigned v = 0;
-    const char* end = s + std::strlen(s);
-    const auto [p, ec] = std::from_chars(s, end, v);
-    if (ec == std::errc() && p == end && v >= 1) return v;
-    std::fprintf(stderr,
-                 "csmt: ignoring invalid CSMT_SCALE='%s' (want an integer "
-                 ">= 1), using %u\n",
-                 s, fallback);
-  }
-  return fallback;
+  return static_cast<unsigned>(
+      cli::env_u64("CSMT_SCALE", fallback, 1, "an integer >= 1"));
 }
 
-/// Per-binary options: the sweep controls plus the problem scale and an
-/// optional JSON artifact path.
-struct BenchOptions {
-  unsigned scale = 4;
-  sweep::SweepOptions sweep;
-  std::string json_path;   ///< empty = no JSON artifact
-  std::string trace_path;  ///< empty = no Chrome trace (see trace_path_for)
-  Cycle metrics_interval = 0;  ///< epoch length in cycles; 0 = no epochs
-  /// Force the per-cycle kernel (A/B verification, DESIGN.md §8). Results
-  /// are bit-identical either way, so cached results are reused as-is;
-  /// use a fresh --cache-dir when the point of the run is timing.
-  bool no_skip = false;
-};
+/// Per-binary options: the consolidated csmt::cli set (sweep controls,
+/// problem scale, observability, allocation policy). The alias keeps the
+/// figure binaries' historical spelling.
+using BenchOptions = cli::Options;
 
 /// Trace output path for point `index` of an `n`-point grid: the configured
 /// path verbatim for a single point; with multiple points, ".p<index>" is
@@ -176,95 +160,11 @@ inline std::string trace_path_for(const BenchOptions& opt, std::size_t index,
   return opt.trace_path.substr(0, dot) + tag + opt.trace_path.substr(dot);
 }
 
-/// Environment defaults (CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, CSMT_JSON,
-/// CSMT_TRACE, CSMT_METRICS_INTERVAL, CSMT_CKPT_INTERVAL) overridden by
-/// flags: --scale N, --jobs N, --cache-dir PATH, --json PATH, --trace PATH,
-/// --metrics-interval N, --ckpt-interval N (both "--flag value" and
-/// "--flag=value" forms).
-/// Unknown arguments abort with a usage message so typos don't silently run
-/// the wrong experiment.
+/// Flag/environment parsing, delegated to the shared csmt::cli parser (see
+/// cli/options.hpp for the knob list and conventions).
 inline BenchOptions parse_options(int argc, char** argv,
                                   unsigned default_scale = 4) {
-  BenchOptions opt;
-  opt.scale = scale_from_env(default_scale);
-  opt.sweep = sweep::SweepOptions::from_env();
-  if (const char* path = std::getenv("CSMT_JSON")) opt.json_path = path;
-  if (const char* path = std::getenv("CSMT_TRACE")) opt.trace_path = path;
-  if (const char* s = std::getenv("CSMT_NO_SKIP")) {
-    opt.no_skip = std::strcmp(s, "0") != 0;
-  }
-  if (const char* s = std::getenv("CSMT_METRICS_INTERVAL")) {
-    Cycle v = 0;
-    const char* end = s + std::strlen(s);
-    const auto [p, ec] = std::from_chars(s, end, v);
-    if (ec == std::errc() && p == end) {
-      opt.metrics_interval = v;
-    } else {
-      std::fprintf(stderr,
-                   "csmt: ignoring invalid CSMT_METRICS_INTERVAL='%s' (want "
-                   "a cycle count, 0 = off)\n",
-                   s);
-    }
-  }
-
-  auto value_of = [&](int& i, const char* flag) -> const char* {
-    const std::size_t n = std::strlen(flag);
-    if (std::strncmp(argv[i], flag, n) != 0) return nullptr;
-    if (argv[i][n] == '=') return argv[i] + n + 1;
-    if (argv[i][n] == '\0' && i + 1 < argc) return argv[++i];
-    return nullptr;
-  };
-  auto parse_unsigned = [](const char* s, const char* flag) -> unsigned {
-    unsigned v = 0;
-    const char* end = s + std::strlen(s);
-    const auto [p, ec] = std::from_chars(s, end, v);
-    if (ec != std::errc() || p != end) {
-      std::fprintf(stderr, "csmt: %s wants an integer, got '%s'\n", flag, s);
-      std::exit(2);
-    }
-    return v;
-  };
-
-  for (int i = 1; i < argc; ++i) {
-    if (const char* v = value_of(i, "--scale")) {
-      opt.scale = parse_unsigned(v, "--scale");
-      if (opt.scale < 1) {
-        std::fprintf(stderr, "csmt: --scale wants an integer >= 1, got 0\n");
-        std::exit(2);
-      }
-    } else if (const char* v = value_of(i, "--jobs")) {
-      opt.sweep.jobs = parse_unsigned(v, "--jobs");
-    } else if (const char* v = value_of(i, "--cache-dir")) {
-      opt.sweep.cache_dir = v;
-    } else if (const char* v = value_of(i, "--json")) {
-      opt.json_path = v;
-    } else if (const char* v = value_of(i, "--trace")) {
-      opt.trace_path = v;
-    } else if (const char* v = value_of(i, "--metrics-interval")) {
-      opt.metrics_interval = parse_unsigned(v, "--metrics-interval");
-    } else if (const char* v = value_of(i, "--ckpt-interval")) {
-      const unsigned n = parse_unsigned(v, "--ckpt-interval");
-      if (n < 1) {
-        std::fprintf(stderr,
-                     "csmt: --ckpt-interval wants an integer >= 1, got 0\n");
-        std::exit(2);
-      }
-      opt.sweep.ckpt_interval = n;
-    } else if (std::strcmp(argv[i], "--no-skip") == 0) {
-      opt.no_skip = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--scale N] [--jobs N] [--cache-dir PATH] "
-                   "[--json PATH] [--trace PATH] [--metrics-interval N] "
-                   "[--ckpt-interval N] [--no-skip]\n"
-                   "  (env: CSMT_SCALE, CSMT_JOBS, CSMT_CACHE_DIR, "
-                   "CSMT_JSON, CSMT_TRACE, CSMT_METRICS_INTERVAL, "
-                   "CSMT_CKPT_INTERVAL, CSMT_NO_SKIP)\n",
-                   argv[0]);
-      std::exit(2);
-    }
-  }
-  return opt;
+  return cli::parse_options(argc, argv, default_scale);
 }
 
 /// Writes the machine-readable artifact when --json/CSMT_JSON asked for one.
@@ -298,6 +198,8 @@ inline std::vector<sim::ExperimentResult> run_figure_grid(
   spec.chips = {chips};
   spec.scales = {opt.scale};
   spec.metrics_interval = opt.metrics_interval;
+  spec.alloc_policy = opt.alloc_policy;
+  spec.alloc_epoch = opt.alloc_epoch;
   sweep::SweepRunner runner(opt.sweep);
   if (opt.trace_path.empty() && !opt.no_skip) return runner.run(spec);
   std::vector<sim::ExperimentSpec> points = spec.expand();

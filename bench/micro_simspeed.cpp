@@ -93,7 +93,11 @@ void BM_FullMachine(benchmark::State& state) {
     const auto wl = workloads::make_workload("swim");
     mem::PagedMemory memory;
     const auto build = wl->build(memory, mc.total_threads(), 2);
-    const auto stats = machine.run(build.program, memory, build.args_base);
+    const auto stats =
+        machine
+            .run(sim::Mix::single(build.program, memory, build.args_base,
+                                  mc.total_threads()))
+            .combined;
     cycles += stats.cycles;
     insts += stats.committed_useful + stats.committed_sync;
   }
@@ -175,8 +179,11 @@ AbRow run_chase_point(core::ArchKind arch, unsigned chips, std::uint64_t iters,
       bench::init_chase_memory(memory, mc.total_threads(), iters);
       const isa::Program program = bench::chase_program(iters);
       bench::StopWatch timer;
-      const sim::RunStats stats = machine.run(program, memory,
-                                              bench::kChaseBase);
+      const sim::RunStats stats =
+          machine
+              .run(sim::Mix::single(program, memory, bench::kChaseBase,
+                                    machine.config().total_threads()))
+              .combined;
       const double secs = timer.seconds();
       double& best = no_skip ? row.noskip_seconds : row.skip_seconds;
       if (rep == 0) {

@@ -75,7 +75,11 @@ double time_kernel(const GatePoint& pt, bool no_skip, sim::RunStats* stats) {
     bench::init_chase_memory(memory, mc.total_threads(), pt.iters);
     const isa::Program program = bench::chase_program(pt.iters);
     bench::StopWatch timer;
-    const sim::RunStats s = machine.run(program, memory, bench::kChaseBase);
+    const sim::RunStats s =
+        machine
+            .run(sim::Mix::single(program, memory, bench::kChaseBase,
+                                  machine.config().total_threads()))
+            .combined;
     secs[rep] = timer.seconds();
     if (rep == 0 && stats) *stats = s;
   }

@@ -48,7 +48,8 @@ Cycle run_cycles(const isa::Program& p, mem::PagedMemory& memory) {
   sim::MachineConfig mc;
   mc.arch = core::arch_preset(core::ArchKind::kFa1);
   sim::Machine m(mc);
-  return m.run(p, memory, 0).cycles;
+  return m.run(sim::Mix::single(p, memory, 0, mc.total_threads()))
+      .combined.cycles;
 }
 
 double measure(isa::Op op) {

@@ -131,7 +131,9 @@ Measurement measure(const std::vector<Addr>& lines, unsigned chips,
     memory.write(args + 8 * kBarArgSlot, 512);  // barrier line
     const isa::Program prog = chase_program(
         iters, unroll, dirty_writer, static_cast<unsigned>(lines.size()));
-    return m.run(prog, memory, args).cycles;
+    return m.run(sim::Mix::single(prog, memory, args,
+                                  m.config().total_threads()))
+        .combined.cycles;
   };
   const unsigned la = static_cast<unsigned>(lines.size()) / unroll;
   if (dirty_writer) {

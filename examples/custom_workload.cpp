@@ -105,7 +105,11 @@ int main() {
     }
 
     const isa::Program prog = build_dot_product();
-    const sim::RunStats stats = machine.run(prog, memory, args);
+    const sim::RunStats stats =
+        machine
+            .run(sim::Mix::single(prog, memory, args,
+                                  machine.config().total_threads()))
+            .combined;
 
     // Host check with a tolerance: the combine order depends on lock
     // arrival order, so only the partial sums are bit-deterministic.

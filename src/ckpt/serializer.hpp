@@ -32,7 +32,10 @@ namespace csmt::ckpt {
 
 /// Bump on any incompatible change to the checkpoint payload layout; files
 /// written by other versions are refused cleanly (DESIGN.md §10).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: dynamic-allocation PR — cluster context bindings travel as data, the
+/// scheduler serializes its allocation-epoch horizon, and dynamic runs
+/// append an "alloc" section (controller + policy state).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// File magic: the first 8 bytes of every checkpoint.
 inline constexpr char kMagic[8] = {'C', 'S', 'M', 'T', 'C', 'K', 'P', 'T'};

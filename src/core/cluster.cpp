@@ -62,6 +62,85 @@ void Cluster::attach_thread(exec::ThreadContext* tc) {
   quiet_stall_if_selected_.reserve(threads_.size());
 }
 
+bool Cluster::has_free_context() const {
+  unsigned bound = 0;
+  for (const ThreadSlot& t : threads_) {
+    if (t.tc) ++bound;
+  }
+  return bound < cfg_.threads;
+}
+
+void Cluster::freeze_context(unsigned slot) {
+  CSMT_ASSERT(slot < threads_.size() && threads_[slot].tc);
+  threads_[slot].frozen = true;
+  active_ = true;  // the fetch fence changes next_event's answer
+}
+
+exec::ThreadContext* Cluster::detach_context(unsigned slot, Cycle now) {
+  CSMT_ASSERT(slot < threads_.size());
+  ThreadSlot& t = threads_[slot];
+  CSMT_ASSERT_MSG(t.tc && t.window_count == 0,
+                  "detach requires a bound, drained context");
+  exec::ThreadContext* tc = t.tc;
+  if (trace_) {
+    if (t.obs_state != kHalt && now > t.obs_since) {
+      trace_->complete(t.obs_track, thread_state_name(t.obs_state),
+                       t.obs_since, now);
+    }
+    trace_->instant(t.obs_track, "migrate_out", now);
+  }
+  // Migration flushes the context's architectural rename state; the drain
+  // precondition means there is no in-flight state to flush.
+  t.tc = nullptr;
+  t.blocked_on = kNoUop;
+  t.blocked_gen = 0;
+  t.blocked_sync = false;
+  t.was_sync_blocked = false;
+  t.wake_at = 0;
+  for (auto& e : t.int_map) e = RenameEntry{};
+  for (auto& e : t.fp_map) e = RenameEntry{};
+  t.in_sync = false;
+  t.frozen = false;
+  active_ = true;
+  return tc;
+}
+
+unsigned Cluster::attach_migrated(exec::ThreadContext* tc, bool in_sync,
+                                  Cycle now, Cycle wake_at) {
+  CSMT_ASSERT(tc != nullptr);
+  unsigned slot = static_cast<unsigned>(threads_.size());
+  for (unsigned i = 0; i < threads_.size(); ++i) {
+    if (!threads_[i].tc) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == threads_.size()) {
+    CSMT_ASSERT_MSG(threads_.size() < cfg_.threads,
+                    "cluster hardware contexts exhausted");
+    ThreadSlot fresh;
+    fresh.rob.init(cfg_.rob_entries);
+    threads_.push_back(std::move(fresh));
+    quiet_stall_if_selected_.reserve(threads_.size());
+  }
+  ThreadSlot& t = threads_[slot];
+  t.tc = tc;
+  t.wake_at = wake_at;
+  // A thread migrated while sync-blocked re-enters the wake protocol here:
+  // when the release lands, fetch() charges the sync wake latency on top of
+  // whatever migration floor is still in force (the max() above).
+  t.was_sync_blocked = tc->sync_blocked();
+  t.in_sync = in_sync;
+  if (trace_) {
+    t.obs_track = {track_.pid, obs::kThreadTidBase + tc->tid()};
+    t.obs_state = kStall;  // paying the migration cost until first fetch
+    t.obs_since = now;
+    trace_->instant(t.obs_track, "migrate_in", now);
+  }
+  active_ = true;
+  return slot;
+}
+
 std::uint16_t Cluster::alloc_slot() {
   CSMT_ASSERT(!free_slots_.empty());
   const std::uint16_t idx = free_slots_.back();
@@ -115,7 +194,7 @@ bool Cluster::sync_waiting(const ThreadSlot& t, Cycle now) const {
 }
 
 bool Cluster::fetchable(const ThreadSlot& t, Cycle now) const {
-  return t.tc && !t.tc->done() && !sync_waiting(t, now) &&
+  return t.tc && !t.tc->done() && !t.frozen && !sync_waiting(t, now) &&
          !mispredict_blocked(t, now) && has_dispatch_room(t);
 }
 
@@ -186,6 +265,9 @@ Cycle Cluster::next_event(Cycle now) {
       if (b.issued) consider(b.complete_at + 1);
       continue;
     }
+    // A frozen context cannot fetch; its remaining horizon contributions
+    // (ROB-head commit, wake, mispredict resolution) were considered above.
+    if (t.frozen) continue;
     if (has_dispatch_room(t)) return next;  // would fetch next cycle
     // No dispatch room: only a commit or issue (events above/below) frees
     // it, so this thread contributes no horizon of its own.
@@ -480,7 +562,11 @@ void Cluster::fetch(Cycle now) {
       t.was_sync_blocked = true;
     } else if (t.was_sync_blocked) {
       t.was_sync_blocked = false;
-      t.wake_at = now + cfg_.sync_wake_latency;
+      // max(): a thread released while paying a migration wake floor keeps
+      // the later of the two. Without migrations the old wake_at was
+      // assigned at an earlier `now`, so the max is always the new value —
+      // bit-identical to the historical unconditional assignment.
+      t.wake_at = std::max(t.wake_at, now + cfg_.sync_wake_latency);
       active_ = true;  // wake horizon changed: recompute next_event
     }
   }
@@ -709,21 +795,53 @@ std::string Cluster::debug_dump(Cycle now) const {
   return out;
 }
 
-void Cluster::serialize(ckpt::Serializer& s) {
+void Cluster::serialize(ckpt::Serializer& s,
+                        const std::vector<exec::ThreadContext*>& by_tid) {
   // Shape first: a checkpoint for a differently configured cluster must be
   // refused before any state is applied.
-  s.check(threads_.size(), "cluster threads");
   s.check(slots_.size(), "cluster rob entries");
-  for (auto& t : threads_) {
-    s.check(t.tc->tid(), "cluster thread binding");
+
+  // Context layout travels as data, not shape: with dynamic allocation the
+  // saved slot count and thread bindings can differ from the startup
+  // placement, so the loader rebuilds the slot array from the file.
+  {
+    std::uint64_t n = threads_.size();
+    s.io(n);
+    if (s.loading()) {
+      if (!s.bounded_count(n) || n > cfg_.threads) {
+        s.fail("cluster context count exceeds hardware contexts");
+        n = 0;
+      }
+      threads_.assign(static_cast<std::size_t>(n), ThreadSlot{});
+      quiet_stall_if_selected_.reserve(threads_.size());
+    }
   }
 
   for (auto& t : threads_) {
+    // Binding: tid + 1, with 0 for an empty (detached) slot.
+    std::uint64_t tid1 = t.tc ? t.tc->tid() + 1ull : 0;
+    s.io(tid1);
+    if (s.loading()) {
+      t.tc = nullptr;
+      if (tid1 != 0) {
+        const std::uint64_t tid = tid1 - 1;
+        if (tid < by_tid.size() && by_tid[static_cast<std::size_t>(tid)]) {
+          t.tc = by_tid[static_cast<std::size_t>(tid)];
+        } else {
+          s.fail("cluster context bound to an unknown thread");
+        }
+      }
+      t.rob.init(cfg_.rob_entries);
+      if (trace_ && t.tc) {
+        t.obs_track = {track_.pid, obs::kThreadTidBase + t.tc->tid()};
+      }
+    }
     s.io(t.blocked_on);
     s.io(t.blocked_gen);
     s.io(t.blocked_sync);
     s.io(t.was_sync_blocked);
     s.io(t.wake_at);
+    s.io(t.frozen);
     for (auto& e : t.int_map) {
       s.io(e.producer);
       s.io(e.gen);
@@ -774,7 +892,7 @@ void Cluster::serialize(ckpt::Serializer& s) {
     if (s.loading()) {
       u.dyn.inst = nullptr;
       if (u.live) {
-        if (u.hw_thread >= threads_.size()) {
+        if (u.hw_thread >= threads_.size() || !threads_[u.hw_thread].tc) {
           s.fail("uop bound to a missing hardware thread");
         } else {
           const isa::Program& prog = threads_[u.hw_thread].tc->program();

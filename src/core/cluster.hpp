@@ -135,6 +135,48 @@ class Cluster {
   /// `cfg.threads` threads per cluster (Table 2).
   void attach_thread(exec::ThreadContext* tc);
 
+  // --- dynamic allocation surface (csmt::alloc, DESIGN.md §11) ---
+  //
+  // A migration is freeze -> drain -> detach -> attach_migrated: the
+  // controller freezes the source context (fetch stops, in-flight uops keep
+  // issuing and committing), waits for the window to drain, detaches the
+  // context (rename maps flushed, slot reusable), and re-binds the thread
+  // on the destination cluster with an explicit wake floor that charges the
+  // migration cost. All of it runs between full ticks, so the cost model is
+  // deterministic. `static` runs never call any of these.
+
+  /// Thread bound to hardware context `slot` (nullptr = empty slot).
+  exec::ThreadContext* context_thread(unsigned slot) const {
+    return threads_[slot].tc;
+  }
+  /// True when context `slot` has no in-flight uops (safe to detach).
+  bool context_drained(unsigned slot) const {
+    return threads_[slot].window_count == 0;
+  }
+  bool context_frozen(unsigned slot) const { return threads_[slot].frozen; }
+  /// Earliest fetch cycle the context is already committed to (sync wake
+  /// latency in flight); the migration wake floor must not shorten it.
+  Cycle context_wake_at(unsigned slot) const {
+    return threads_[slot].wake_at;
+  }
+  /// The context's sync-spinning latch, carried across a migration so the
+  /// running-thread characterization stays consistent.
+  bool context_in_sync(unsigned slot) const { return threads_[slot].in_sync; }
+  /// True when a migrated thread could bind here (an empty slot exists or a
+  /// hardware context is still unused).
+  bool has_free_context() const;
+
+  /// Stops fetch for context `slot`; issue/commit continue so the window
+  /// drains on its own.
+  void freeze_context(unsigned slot);
+  /// Unbinds a drained context and returns its thread; the slot's rename
+  /// state is flushed and the slot becomes reusable.
+  exec::ThreadContext* detach_context(unsigned slot, Cycle now);
+  /// Binds a migrated thread to a free context; it fetches no earlier than
+  /// `wake_at`. Returns the slot used.
+  unsigned attach_migrated(exec::ThreadContext* tc, bool in_sync, Cycle now,
+                           Cycle wake_at);
+
   /// Advances the cluster by one cycle: commit, issue, fetch, then
   /// issue-slot accounting (§4.1). Hot-path contract (DESIGN.md §9): with
   /// tracing off, a tick performs zero heap allocations — every scratch
@@ -178,10 +220,13 @@ class Cluster {
 
   /// Checkpoint visitor (DESIGN.md §10): thread slots (rename maps, ROBs,
   /// block/wake state), the in-flight uop array, IQ, free list, round-robin
-  /// pointers, quiescence replay plan, and statistics. In-flight
-  /// instruction pointers are rebuilt from static indices through each
-  /// thread's program.
-  void serialize(ckpt::Serializer& s);
+  /// pointers, quiescence replay plan, and statistics. Context bindings are
+  /// recorded as thread ids and rebuilt through `by_tid` on load (dynamic
+  /// allocation means the saved layout can differ from the startup one);
+  /// in-flight instruction pointers are rebuilt from static indices through
+  /// each thread's program.
+  void serialize(ckpt::Serializer& s,
+                 const std::vector<exec::ThreadContext*>& by_tid);
 
   const ClusterStats& stats() const { return stats_; }
   const branch::PredictorStats& predictor_stats() const {
@@ -207,6 +252,7 @@ class Cluster {
     bool blocked_sync = false;          ///< the blocking branch was sync-tagged
     bool was_sync_blocked = false;      ///< observed blocked last cycle
     Cycle wake_at = 0;                  ///< earliest fetch after a sync wake
+    bool frozen = false;                ///< fetch fenced off while draining
     RenameEntry int_map[isa::kNumIntRegs];
     RenameEntry fp_map[isa::kNumFpRegs];
     unsigned window_count = 0;          ///< in-flight uops of this thread

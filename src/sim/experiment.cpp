@@ -19,6 +19,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (spec.l1_private) mc.mem.l1_private = *spec.l1_private;
   mc.chips = spec.chips;
   mc.metrics_interval = spec.metrics_interval;
+  mc.alloc.policy = spec.alloc_policy;
+  mc.alloc.epoch = spec.alloc_epoch;
   mc.no_skip = spec.no_skip;
   mc.ckpt_interval = spec.ckpt_interval;
   mc.ckpt_path = spec.ckpt_path;
@@ -48,7 +50,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   ExperimentResult result;
   result.spec = spec;
   obs::WallTimer timer;
-  result.stats = machine.run(build.program, memory, build.args_base);
+  result.stats = machine
+                     .run(Mix::single(build.program, memory, build.args_base,
+                                      mc.total_threads()))
+                     .combined;
   result.sim_speed.wall_seconds = timer.elapsed_seconds();
   result.resumed_from_cycle = machine.resumed_from_cycle();
   if (writer) writer->finish();

@@ -29,6 +29,13 @@ struct ExperimentSpec {
   /// identity: the epoch series lives in the cached RunStats.
   Cycle metrics_interval = 0;
 
+  // --- thread-to-cluster allocation (csmt::alloc, DESIGN.md §11) — part of
+  // spec identity: a dynamic policy migrates threads and changes RunStats ---
+  /// Placement policy; `static` reproduces the historical fill bit for bit.
+  alloc::PolicyKind alloc_policy = alloc::PolicyKind::kStatic;
+  /// Cycles between reallocation decisions (0 = the policy default).
+  Cycle alloc_epoch = 0;
+
   // --- observability knobs excluded from identity (they never perturb
   // RunStats; see DESIGN.md §7) ---
   /// Chrome-trace output path; empty = no tracing.
@@ -57,7 +64,8 @@ struct ExperimentSpec {
     return workload == o.workload && arch == o.arch && chips == o.chips &&
            scale == o.scale && fetch_policy == o.fetch_policy &&
            window_size == o.window_size && l1_private == o.l1_private &&
-           metrics_interval == o.metrics_interval;
+           metrics_interval == o.metrics_interval &&
+           alloc_policy == o.alloc_policy && alloc_epoch == o.alloc_epoch;
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "alloc/controller.hpp"
 #include "ckpt/serializer.hpp"
 #include "common/assert.hpp"
 #include "sim/scheduler.hpp"
@@ -82,12 +83,18 @@ void Machine::ckpt_shape(ckpt::Serializer& s, const exec::ThreadGroup& group) {
   s.check(group.thread(0).program().size(), "program length");
   s.check(cfg_.metrics_interval, "metrics interval");
   s.check(static_cast<unsigned>(dash_ ? 1 : 0), "interconnect kind");
+  // Allocation identity: a snapshot taken under one policy or epoch clock
+  // must not silently resume under another.
+  s.check(static_cast<unsigned>(cfg_.alloc.policy), "alloc policy");
+  s.check(cfg_.alloc.resolved_epoch(), "alloc epoch");
+  s.check(cfg_.alloc.migration_cost, "alloc migration cost");
+  s.check(cfg_.alloc.max_moves_per_epoch, "alloc moves per epoch");
   s.end_section();
 }
 
 void Machine::ckpt_io(ckpt::Serializer& s, exec::ThreadGroup& group,
                       mem::PagedMemory& memory, obs::EpochSampler& sampler,
-                      Scheduler& sched) {
+                      Scheduler& sched, alloc::Controller* alloc_ctl) {
   ckpt_shape(s, group);
   if (!s.ok()) return;
 
@@ -107,12 +114,20 @@ void Machine::ckpt_io(ckpt::Serializer& s, exec::ThreadGroup& group,
   memory.serialize(s);
   s.end_section();
 
+  // Context bindings travel as thread ids; the clusters rebuild their slot
+  // arrays through this table on load (checkpointing is single-job only, so
+  // tids are unique and dense).
+  std::vector<exec::ThreadContext*> by_tid(group.size(), nullptr);
+  for (unsigned t = 0; t < group.size(); ++t) {
+    by_tid[group.thread(t).tid()] = &group.thread(t);
+  }
+
   for (unsigned c = 0; c < chips_.size() && s.ok(); ++c) {
     const std::string name = "chip" + std::to_string(c);
     s.begin_section(name);
     chips_[c]->memsys().serialize(s);
     for (unsigned j = 0; j < chips_[c]->num_clusters(); ++j) {
-      chips_[c]->cluster(j).serialize(s);
+      chips_[c]->cluster(j).serialize(s, by_tid);
     }
     s.end_section();
   }
@@ -122,30 +137,105 @@ void Machine::ckpt_io(ckpt::Serializer& s, exec::ThreadGroup& group,
     dash_->serialize(s);
     s.end_section();
   }
+
+  // Last: the controller rebuilds thread locations from the cluster layouts
+  // restored above.
+  if (alloc_ctl) {
+    s.begin_section("alloc");
+    alloc_ctl->serialize(s);
+    s.end_section();
+  }
 }
 
-RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
-                      Addr args_base) {
-  const unsigned nthreads = cfg_.total_threads();
-  exec::ThreadGroup group(program, memory, nthreads, args_base);
+MultiRunStats Machine::run(const Mix& mix) {
+  CSMT_ASSERT_MSG(!mix.jobs.empty(), "a mix needs at least one job");
+  unsigned total = 0;
+  for (const Job& j : mix.jobs) {
+    CSMT_ASSERT_MSG(j.program != nullptr && j.memory != nullptr,
+                    "every job needs a program and a functional memory");
+    // A 0-thread job would silently skew the placement interleave and
+    // starve the validation of the job's results: reject it loudly.
+    CSMT_ASSERT_MSG(j.threads >= 1, "a job must request at least one thread");
+    total += j.threads;
+  }
+  CSMT_ASSERT_MSG(total == cfg_.total_threads(),
+                  "job thread counts must sum to the machine's contexts");
 
-  // Block placement: contexts of chip 0 fill first, then chip 1, ... — the
-  // thread running serial sections (tid 0) always lives on chip 0.
-  const unsigned per_chip = cfg_.arch.threads_per_chip();
-  for (unsigned t = 0; t < nthreads; ++t) {
-    chips_[t / per_chip]->attach_thread(&group.thread(t));
+  const bool single = mix.jobs.size() == 1;
+  const bool dynamic = cfg_.alloc.dynamic();
+  bool ckpt_on = cfg_.ckpt_interval > 0 && !cfg_.ckpt_path.empty();
+  if (ckpt_on && !single) {
+    std::fprintf(stderr,
+                 "csmt: checkpointing is not supported for multiprogrammed "
+                 "runs; ignoring ckpt_interval\n");
+    ckpt_on = false;
   }
 
+  // One ThreadGroup per job; each job lives in a disjoint simulated
+  // physical address space (48-bit regions) so the shared caches, MSHRs,
+  // and TLB see them as distinct, like distinct page mappings would.
+  std::vector<std::unique_ptr<exec::ThreadGroup>> groups;
+  for (std::size_t j = 0; j < mix.jobs.size(); ++j) {
+    const Job& job = mix.jobs[j];
+    groups.push_back(std::make_unique<exec::ThreadGroup>(
+        *job.program, *job.memory, job.threads, job.args_base));
+    for (unsigned t = 0; t < job.threads; ++t) {
+      groups.back()->thread(t).set_timing_addr_offset(static_cast<Addr>(j)
+                                                      << 48);
+    }
+  }
+
+  // The allocation controller (DESIGN.md §11) owns placement for every
+  // policy. Its `static` initial placement reproduces the historical fill:
+  // contexts handed out one job at a time in round-robin — which for a
+  // single job degenerates to the block placement the paper uses (tid 0 on
+  // chip 0) — so `static` runs are bit-identical to the pre-API machine.
+  const alloc::MachineShape shape{cfg_.chips, cfg_.arch.clusters,
+                                  cfg_.arch.cluster.threads};
+  std::vector<core::Cluster*> clusters;
+  std::vector<const cache::MemSys*> memsys;
+  for (auto& chip : chips_) {
+    for (unsigned j = 0; j < chip->num_clusters(); ++j) {
+      clusters.push_back(&chip->cluster(j));
+      memsys.push_back(&chip->memsys());
+    }
+  }
+  std::vector<exec::ThreadContext*> threads;
+  std::vector<unsigned> job_threads;
+  for (std::size_t j = 0; j < mix.jobs.size(); ++j) {
+    job_threads.push_back(mix.jobs[j].threads);
+    for (unsigned t = 0; t < mix.jobs[j].threads; ++t) {
+      threads.push_back(&groups[j]->thread(t));
+    }
+  }
+  alloc::Controller ctl(shape, cfg_.alloc, std::move(clusters),
+                        std::move(memsys), std::move(threads),
+                        std::move(job_threads), cfg_.trace);
+  ctl.place_initial();
+  alloc_ctl_ = dynamic ? &ctl : nullptr;
+
+  MultiRunStats out;
+  out.job_finish.assign(mix.jobs.size(), 0);
   obs::EpochSampler sampler(cfg_.metrics_interval);
   Scheduler sched(*this, sampler);
   if (cfg_.trace) {
-    group.sync().set_trace(cfg_.trace, sched.clock());
-    trace_name_sync_tracks(group);
+    for (auto& g : groups) {
+      g->sync().set_trace(cfg_.trace, sched.clock());
+      trace_name_sync_tracks(*g);
+    }
+  }
+  if (dynamic) {
+    // Arm the epoch clock *before* any restore: the scheduler serializes
+    // its epoch horizon, so a resumed run keeps the saving run's phase.
+    sched.set_alloc_epoch(cfg_.alloc.resolved_epoch(),
+                          [&ctl](Cycle now) { ctl.on_epoch(now); });
   }
 
   resumed_from_cycle_ = 0;
-  const bool ckpt_on = cfg_.ckpt_interval > 0 && !cfg_.ckpt_path.empty();
   if (ckpt_on) {
+    exec::ThreadGroup& group = *groups[0];
+    mem::PagedMemory& memory = *mix.jobs[0].memory;
+    alloc::Controller* ctl_io = dynamic ? &ctl : nullptr;
     // Resume: the file layer has already validated magic, version, and
     // every checksum; the shape pre-pass then rejects a checkpoint of a
     // different machine before any live state is touched.
@@ -164,7 +254,7 @@ RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
     }
     if (rr.ok) {
       ckpt::Serializer s(std::move(rr.payload));
-      ckpt_io(s, group, memory, sampler, sched);
+      ckpt_io(s, group, memory, sampler, sched, ctl_io);
       if (s.ok()) {
         resumed_from_cycle_ = rr.meta.cycle;
       } else {
@@ -185,9 +275,9 @@ RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
     }
     // Arm *after* any restore so the next snapshot lands on the first
     // interval boundary beyond the resume point.
-    sched.set_checkpoint(cfg_.ckpt_interval, [&](Cycle now) {
+    sched.set_checkpoint(cfg_.ckpt_interval, [&, ctl_io](Cycle now) {
       ckpt::Serializer s;
-      ckpt_io(s, group, memory, sampler, sched);
+      ckpt_io(s, group, memory, sampler, sched, ctl_io);
       ckpt::CheckpointMeta meta;
       meta.spec_hash = cfg_.ckpt_spec_hash;
       meta.cycle = now;
@@ -199,90 +289,54 @@ RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
       }
     });
   }
-  const Scheduler::Result r = sched.run();
 
-  if (cfg_.trace) trace_flush(r.cycles);
-  sampler.finish(r.cycles, snapshot_counters());
-  quiet_cycles_ = sched.quiet_cycles();
-  RunStats out = collect_stats(r.cycles, r.running_accum, r.timed_out);
-  out.epochs = sampler.take();
-  return out;
-}
-
-MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
-  if (cfg_.ckpt_interval > 0 && !cfg_.ckpt_path.empty()) {
-    std::fprintf(stderr,
-                 "csmt: checkpointing is not supported for multiprogrammed "
-                 "runs; ignoring ckpt_interval\n");
-  }
-  unsigned total = 0;
-  for (const Job& j : jobs) total += j.threads;
-  CSMT_ASSERT_MSG(total == cfg_.total_threads(),
-                  "job thread counts must sum to the machine's contexts");
-
-  // One ThreadGroup per job; each job lives in a disjoint simulated
-  // physical address space (48-bit regions) so the shared caches, MSHRs,
-  // and TLB see them as distinct, like distinct page mappings would.
-  std::vector<std::unique_ptr<exec::ThreadGroup>> groups;
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const Job& job = jobs[j];
-    groups.push_back(std::make_unique<exec::ThreadGroup>(
-        *job.program, *job.memory, job.threads, job.args_base));
-    for (unsigned t = 0; t < job.threads; ++t) {
-      groups.back()->thread(t).set_timing_addr_offset(static_cast<Addr>(j)
-                                                      << 48);
-    }
-  }
-  // Interleaved placement: contexts are handed out one job at a time in
-  // round-robin, so on SMT organizations the jobs genuinely share each
-  // cluster's issue slots (an FA cluster still holds one thread of one job).
-  {
-    std::vector<unsigned> next(jobs.size(), 0);
-    unsigned slot = 0;
-    bool placed = true;
-    while (placed) {
-      placed = false;
-      for (std::size_t j = 0; j < jobs.size(); ++j) {
-        if (next[j] < jobs[j].threads) {
-          chips_[slot / cfg_.arch.threads_per_chip()]->attach_thread(
-              &groups[j]->thread(next[j]++));
-          ++slot;
-          placed = true;
+  // Per-tick hook: advance in-flight migrations and observe job
+  // completions. A job can only finish on a full tick (its last thread has
+  // to fetch a halt), so the hook sees every completion exactly when the
+  // per-cycle kernel did. Single-job static mixes skip the hook entirely —
+  // the hot path of the paper-grid runs stays untouched — and their one
+  // job's finish cycle is the makespan by definition.
+  std::function<void(Cycle)> after_tick;
+  if (!single || dynamic) {
+    after_tick = [&](Cycle now) {
+      if (dynamic) ctl.on_tick(now);
+      for (std::size_t j = 0; j < mix.jobs.size(); ++j) {
+        if (out.job_finish[j] == 0 && groups[j]->all_done()) {
+          out.job_finish[j] = now;
         }
       }
-    }
+    };
   }
+  const Scheduler::Result r = sched.run(after_tick);
+  alloc_ctl_ = nullptr;
 
-  MultiRunStats out;
-  out.job_finish.assign(jobs.size(), 0);
-  obs::EpochSampler sampler(cfg_.metrics_interval);
-  Scheduler sched(*this, sampler);
-  if (cfg_.trace) {
-    for (auto& g : groups) {
-      g->sync().set_trace(cfg_.trace, sched.clock());
-      trace_name_sync_tracks(*g);
-    }
-  }
-  // A job can only finish on a full tick (its last thread has to fetch a
-  // halt), so the per-tick hook observes every completion exactly when the
-  // per-cycle kernel did.
-  const Scheduler::Result r = sched.run([&](Cycle now) {
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      if (out.job_finish[j] == 0 && groups[j]->all_done()) {
-        out.job_finish[j] = now;
-      }
-    }
-  });
   if (cfg_.trace) trace_flush(r.cycles);
   sampler.finish(r.cycles, snapshot_counters());
   quiet_cycles_ = sched.quiet_cycles();
   out.makespan = r.cycles;
+  if (!after_tick) out.job_finish[0] = r.cycles;
   out.combined = collect_stats(r.cycles, r.running_accum, r.timed_out);
   out.combined.epochs = sampler.take();
+  out.combined.alloc = ctl.stats();
   return out;
 }
 
+RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
+                      Addr args_base) {
+  return run(Mix::single(program, memory, args_base, cfg_.total_threads()))
+      .combined;
+}
+
+MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
+  Mix mix;
+  mix.jobs = jobs;
+  return run(mix);
+}
+
 bool Machine::all_finished() const {
+  // A thread mid-migration is bound to no cluster; the machine is not
+  // finished until every move has landed.
+  if (alloc_ctl_ && !alloc_ctl_->idle()) return false;
   for (const auto& chip : chips_) {
     if (!chip->finished()) return false;
   }

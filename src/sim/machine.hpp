@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/policy.hpp"
 #include "cache/backend.hpp"
 #include "common/types.hpp"
 #include "core/chip.hpp"
@@ -20,6 +21,9 @@
 
 namespace csmt::ckpt {
 class Serializer;
+}
+namespace csmt::alloc {
+class Controller;
 }
 
 namespace csmt::sim {
@@ -61,6 +65,12 @@ struct MachineConfig {
   /// checkpoint whose tag differs is ignored, not an error.
   std::uint64_t ckpt_spec_hash = 0;
 
+  // --- thread-to-cluster allocation (csmt::alloc, DESIGN.md §11) ---
+  /// Placement policy and dynamic-migration knobs. The default (`static`,
+  /// epoch 0) reproduces the historical startup fill bit for bit and adds
+  /// nothing to the run loop.
+  alloc::AllocConfig alloc;
+
   /// Hardware thread contexts across the machine — the paper creates
   /// exactly this many software threads (§4).
   unsigned total_threads() const {
@@ -98,6 +108,9 @@ struct RunStats {
   MemCounters mem;
   std::optional<noc::DashStats> dash;  ///< high-end machines only
 
+  /// Allocation-subsystem counters (all zero for `static` runs).
+  alloc::AllocStats alloc;
+
   /// Interval-metrics time series; empty unless
   /// MachineConfig::metrics_interval was set. Deterministic (pure cycle
   /// counters), so it participates in result caching like any counter.
@@ -121,6 +134,19 @@ struct Job {
   unsigned threads = 1;
 };
 
+/// The unified workload description: one or more jobs whose thread counts
+/// sum to the machine's hardware contexts. A single-program SPMD run is the
+/// one-job special case.
+struct Mix {
+  std::vector<Job> jobs;
+
+  /// One job over all of the machine's contexts — the classic SPMD run.
+  static Mix single(const isa::Program& program, mem::PagedMemory& memory,
+                    Addr args_base, unsigned threads) {
+    return Mix{{Job{&program, &memory, args_base, threads}}};
+  }
+};
+
 struct MultiRunStats {
   Cycle makespan = 0;                ///< all jobs complete
   std::vector<Cycle> job_finish;     ///< per-job completion cycle
@@ -131,15 +157,20 @@ class Machine {
  public:
   explicit Machine(const MachineConfig& cfg);
 
-  /// Runs the SPMD `program` over `memory` to completion (all threads
-  /// halted, pipelines drained). One Machine instance runs one program.
+  /// Runs a mix to completion (all threads halted, pipelines drained,
+  /// migrations settled). Each job runs in its own address space on its own
+  /// share of the machine's hardware contexts (the multiprogrammed style of
+  /// the paper's SMT citations [16,9]); job thread counts must be nonzero
+  /// and sum to total_threads(). One Machine instance runs one mix.
+  MultiRunStats run(const Mix& mix);
+
+  /// Deprecated single-program entry point: forwards to run(Mix::single).
+  [[deprecated("use run(const Mix&)")]]
   RunStats run(const isa::Program& program, mem::PagedMemory& memory,
                Addr args_base);
 
-  /// Multiprogrammed run (the workload style of the paper's SMT citations
-  /// [16,9]): each job runs in its own address space on its own share of
-  /// the machine's hardware contexts; job thread counts must sum to
-  /// total_threads(). One Machine instance runs one such mix.
+  /// Deprecated multiprogrammed entry point: forwards to run(const Mix&).
+  [[deprecated("use run(const Mix&)")]]
   MultiRunStats run_jobs(const std::vector<Job>& jobs);
 
   const MachineConfig& config() const { return cfg_; }
@@ -165,10 +196,11 @@ class Machine {
   /// mismatched checkpoint is rejected before any state is touched.
   void ckpt_shape(ckpt::Serializer& s, const exec::ThreadGroup& group);
   /// Full checkpoint visit (both directions): shape, scheduler, sampler,
-  /// threads + sync, functional memory, per-chip memsys + clusters, DASH.
+  /// threads + sync, functional memory, per-chip memsys + clusters, DASH,
+  /// and (dynamic allocation only) the controller + policy state.
   void ckpt_io(ckpt::Serializer& s, exec::ThreadGroup& group,
                mem::PagedMemory& memory, obs::EpochSampler& sampler,
-               Scheduler& sched);
+               Scheduler& sched, alloc::Controller* alloc_ctl);
 
   // --- Scheduler-facing stepping interface ---
   bool all_finished() const;
@@ -195,6 +227,9 @@ class Machine {
   std::vector<std::unique_ptr<core::Chip>> chips_;
   Cycle quiet_cycles_ = 0;
   Cycle resumed_from_cycle_ = 0;
+  /// Live only while run() executes a dynamic-allocation mix; all_finished
+  /// consults it so a run cannot end with a thread mid-migration.
+  alloc::Controller* alloc_ctl_ = nullptr;
 };
 
 }  // namespace csmt::sim

@@ -161,6 +161,11 @@ json::Value to_json(const ExperimentResult& r) {
   if (r.spec.window_size) spec["window_size"] = *r.spec.window_size;
   if (r.spec.l1_private) spec["l1_private"] = *r.spec.l1_private;
   if (r.spec.metrics_interval) spec["metrics_interval"] = r.spec.metrics_interval;
+  // Allocation fields appear only for dynamic policies, so artifacts of
+  // `static` runs are byte-identical to pre-§11 ones.
+  if (r.spec.alloc_policy != alloc::PolicyKind::kStatic)
+    spec["alloc_policy"] = alloc::policy_name(r.spec.alloc_policy);
+  if (r.spec.alloc_epoch) spec["alloc_epoch"] = r.spec.alloc_epoch;
 
   const RunStats& s = r.stats;
   json::Value slots = json::Value::object();
@@ -211,6 +216,15 @@ json::Value to_json(const ExperimentResult& r) {
     dash["upgrades"] = s.dash->upgrades;
     dash["writebacks"] = s.dash->writebacks;
     stats["dash"] = std::move(dash);
+  }
+  if (r.spec.alloc_policy != alloc::PolicyKind::kStatic) {
+    json::Value alloc = json::Value::object();
+    alloc["epochs"] = s.alloc.epochs;
+    alloc["migrations"] = s.alloc.migrations;
+    alloc["rejected"] = s.alloc.rejected;
+    alloc["drain_cycles"] = s.alloc.drain_cycles;
+    alloc["stall_cycles"] = s.alloc.stall_cycles;
+    stats["alloc"] = std::move(alloc);
   }
   if (!s.epochs.empty()) {
     json::Value epochs = json::Value::array();
@@ -300,6 +314,13 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
     r.spec.l1_private = p->as_bool();
   if (const json::Value* m = spec->find("metrics_interval"))
     r.spec.metrics_interval = m->as_u64();
+  if (const json::Value* a = spec->find("alloc_policy")) {
+    const auto kind_a = alloc::policy_from_name(a->as_string());
+    if (!kind_a) return std::nullopt;
+    r.spec.alloc_policy = *kind_a;
+  }
+  if (const json::Value* a = spec->find("alloc_epoch"))
+    r.spec.alloc_epoch = a->as_u64();
 
   RunStats& s = r.stats;
   const json::Value* cycles = stats->find("cycles");
@@ -368,6 +389,17 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
     if (const json::Value* c = d->find("writebacks"))
       dash.writebacks = c->as_u64();
     s.dash = dash;
+  }
+  if (const json::Value* a = stats->find("alloc")) {
+    if (const json::Value* c = a->find("epochs")) s.alloc.epochs = c->as_u64();
+    if (const json::Value* c = a->find("migrations"))
+      s.alloc.migrations = c->as_u64();
+    if (const json::Value* c = a->find("rejected"))
+      s.alloc.rejected = c->as_u64();
+    if (const json::Value* c = a->find("drain_cycles"))
+      s.alloc.drain_cycles = c->as_u64();
+    if (const json::Value* c = a->find("stall_cycles"))
+      s.alloc.stall_cycles = c->as_u64();
   }
   if (const json::Value* epochs = stats->find("epochs")) {
     for (const json::Value& ev : epochs->items()) {

@@ -19,6 +19,19 @@ void Scheduler::set_checkpoint(Cycle interval, std::function<void(Cycle)> save) 
   next_ckpt_ = (now_ / interval + 1) * interval;
 }
 
+void Scheduler::set_alloc_epoch(Cycle interval,
+                                std::function<void(Cycle)> fire) {
+  alloc_interval_ = interval;
+  alloc_fn_ = std::move(fire);
+  if (interval == 0 || !alloc_fn_) {
+    alloc_interval_ = 0;
+    next_alloc_ = kNeverCycle;
+    alloc_fn_ = nullptr;
+    return;
+  }
+  next_alloc_ = (now_ / interval + 1) * interval;
+}
+
 void Scheduler::serialize(ckpt::Serializer& s) {
   s.io(now_);
   s.io(quiet_cycles_);
@@ -27,6 +40,7 @@ void Scheduler::serialize(ckpt::Serializer& s) {
   s.io(running_accum_);
   s.io(last_running_traced_);
   s.io(check_finished_);
+  s.io(next_alloc_);
 }
 
 Scheduler::Result Scheduler::run(
@@ -45,6 +59,13 @@ Scheduler::Result Scheduler::run(
     if (now_ >= next_ckpt_) {
       save_fn_(now_);
       while (next_ckpt_ <= now_) next_ckpt_ += ckpt_interval_;
+    }
+    // Allocation epochs fire after any checkpoint save at the same cycle,
+    // so a snapshot observes the pre-epoch state and a resumed run replays
+    // the epoch decision itself — the decision is never half-captured.
+    if (now_ >= next_alloc_) {
+      alloc_fn_(now_);
+      while (next_alloc_ <= now_) next_alloc_ += alloc_interval_;
     }
     const bool active = m_.tick_chips(now_);
     check_finished_ = active;
@@ -85,6 +106,9 @@ Scheduler::Result Scheduler::run(
     const Cycle horizon = m_.next_event(now_ - 1);
     Cycle stop = horizon < cfg.max_cycles ? horizon : cfg.max_cycles;
     if (next_ckpt_ < stop) stop = next_ckpt_;
+    // A pending allocation epoch clamps the span too: the epoch must see
+    // the loop-header telemetry at its scheduled cycle.
+    if (next_alloc_ < stop) stop = next_alloc_;
     if (stop < now_ + kShortSpan) {
       probe_defer_ = probe_defer_ == 0
                          ? 1

@@ -67,6 +67,15 @@ class Scheduler {
   /// is not called for skipped cycles.
   Result run(const std::function<void(Cycle)>& after_tick = {});
 
+  /// Arms the allocation-epoch clock (DESIGN.md §11): `fire` runs at the
+  /// top of the run loop — after the exit checks and any checkpoint save,
+  /// before the tick — whenever the clock reaches the next multiple of
+  /// `interval`. Arm *before* any checkpoint restore: the restored
+  /// scheduler state carries the saved epoch horizon, so a resumed run
+  /// fires the remaining epochs exactly where the saving run would have.
+  /// interval 0 disarms (the default: static runs never test the clock).
+  void set_alloc_epoch(Cycle interval, std::function<void(Cycle)> fire);
+
   /// Arms periodic checkpointing: `save` runs at the top of the run loop —
   /// after the finish/watchdog checks, before the tick — whenever the clock
   /// reaches the next multiple of `interval`. Call *after* any restore: the
@@ -114,6 +123,13 @@ class Scheduler {
   Cycle ckpt_interval_ = 0;
   Cycle next_ckpt_ = kNeverCycle;
   std::function<void(Cycle)> save_fn_;
+
+  // Allocation-epoch schedule (set_alloc_epoch). Same single-compare
+  // idle cost as the checkpoint clock; next_alloc_ is serialized so a
+  // resumed run keeps the saving run's epoch phase.
+  Cycle alloc_interval_ = 0;
+  Cycle next_alloc_ = kNeverCycle;
+  std::function<void(Cycle)> alloc_fn_;
 };
 
 }  // namespace csmt::sim

@@ -1,13 +1,12 @@
 #include "sweep/sweep.hpp"
 
 #include <atomic>
-#include <charconv>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "cli/parse.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/profile.hpp"
 #include "sim/report.hpp"
@@ -21,7 +20,8 @@ namespace fs = std::filesystem;
 /// stale cache entries stop matching.
 /// v2: results carry sim_speed + optional epoch series; specs carry
 /// metrics_interval.
-constexpr const char* kCacheKeyVersion = "csmt-sweep-v2";
+/// v3: specs carry the allocation policy and epoch (csmt::alloc).
+constexpr const char* kCacheKeyVersion = "csmt-sweep-v3";
 
 std::uint64_t fnv1a(std::string_view bytes) {
   std::uint64_t h = 1469598103934665603ull;
@@ -48,44 +48,14 @@ std::string canonical_encoding(const sim::ExperimentSpec& spec) {
   out << "|l1p=";
   if (spec.l1_private) out << (*spec.l1_private ? 1 : 0);
   out << "|mi=" << spec.metrics_interval;
+  out << "|ap=" << alloc::policy_name(spec.alloc_policy);
+  out << "|ae=" << spec.alloc_epoch;
   out << "|preset=" << arch.clusters << ',' << cl.width << ',' << cl.threads
       << ',' << cl.int_units << ',' << cl.ldst_units << ',' << cl.fp_units
       << ',' << cl.iq_entries << ',' << cl.rob_entries << ',' << cl.int_rename
       << ',' << cl.fp_rename << ',' << cl.sync_wake_latency << ','
       << static_cast<int>(arch.fetch_policy);
   return out.str();
-}
-
-unsigned jobs_from_env() {
-  const char* s = std::getenv("CSMT_JOBS");
-  if (!s || !*s) return 1;
-  unsigned v = 0;
-  const char* end = s + std::strlen(s);
-  const auto [p, ec] = std::from_chars(s, end, v);
-  if (ec != std::errc() || p != end) {
-    std::fprintf(stderr,
-                 "csmt: ignoring non-numeric CSMT_JOBS='%s' (want a worker "
-                 "count, 0 = all hardware threads)\n",
-                 s);
-    return 1;
-  }
-  return v ? v : ThreadPool::hardware_default();
-}
-
-Cycle ckpt_interval_from_env() {
-  const char* s = std::getenv("CSMT_CKPT_INTERVAL");
-  if (!s || !*s) return 0;
-  Cycle v = 0;
-  const char* end = s + std::strlen(s);
-  const auto [p, ec] = std::from_chars(s, end, v);
-  if (ec != std::errc() || p != end || v == 0) {
-    std::fprintf(stderr,
-                 "csmt: ignoring invalid CSMT_CKPT_INTERVAL='%s' (want a "
-                 "cycle count >= 1)\n",
-                 s);
-    return 0;
-  }
-  return v;
 }
 
 /// Checkpoint file ("<cache_dir>/ckpt/csmt-<16 hex digits>.ckpt") of a
@@ -117,6 +87,8 @@ std::vector<sim::ExperimentSpec> SweepSpec::expand() const {
           spec.window_size = window_size;
           spec.l1_private = l1_private;
           spec.metrics_interval = metrics_interval;
+          spec.alloc_policy = alloc_policy;
+          spec.alloc_epoch = alloc_epoch;
           points.push_back(std::move(spec));
         }
       }
@@ -127,11 +99,13 @@ std::vector<sim::ExperimentSpec> SweepSpec::expand() const {
 
 SweepOptions SweepOptions::from_env() {
   SweepOptions options;
-  options.jobs = jobs_from_env();
-  if (const char* dir = std::getenv("CSMT_CACHE_DIR")) {
-    options.cache_dir = dir;
-  }
-  options.ckpt_interval = ckpt_interval_from_env();
+  const std::uint64_t jobs = cli::env_u64(
+      "CSMT_JOBS", 1, 0, "a worker count, 0 = all hardware threads");
+  options.jobs =
+      jobs ? static_cast<unsigned>(jobs) : ThreadPool::hardware_default();
+  options.cache_dir = cli::env_string("CSMT_CACHE_DIR");
+  options.ckpt_interval =
+      cli::env_u64("CSMT_CKPT_INTERVAL", 0, 1, "a cycle count >= 1");
   return options;
 }
 

@@ -31,6 +31,11 @@ struct SweepSpec {
   std::optional<bool> l1_private;
   /// Interval-metrics epoch length stamped onto every point (0 = off).
   Cycle metrics_interval = 0;
+  /// Thread-to-cluster allocation policy stamped onto every point
+  /// (DESIGN.md §11); `static` is the paper's fixed placement.
+  alloc::PolicyKind alloc_policy = alloc::PolicyKind::kStatic;
+  /// Reallocation epoch length stamped onto every point (0 = policy default).
+  Cycle alloc_epoch = 0;
 
   /// Expansion order: workload-major, then arch, then chips, then scale —
   /// identical to the nesting of the old per-bench loops.

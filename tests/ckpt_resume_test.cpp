@@ -133,7 +133,10 @@ RunStats run_killed(const ExperimentSpec& spec, Cycle max_cycles,
   mem::PagedMemory memory;
   const workloads::WorkloadBuild build =
       wl->build(memory, mc.total_threads(), spec.scale);
-  return machine.run(build.program, memory, build.args_base);
+  return machine
+      .run(Mix::single(build.program, memory, build.args_base,
+                       mc.total_threads()))
+      .combined;
 }
 
 constexpr std::uint64_t kTag = 0x5EED;

@@ -10,6 +10,14 @@ namespace {
 
 using isa::ProgramBuilder;
 
+/// Runs one program over all of the machine's contexts through the unified
+/// mix entry point.
+RunStats run_single(Machine& m, const isa::Program& p,
+                    mem::PagedMemory& memory) {
+  return m.run(Mix::single(p, memory, 0, m.config().total_threads()))
+      .combined;
+}
+
 isa::Program busy_program(unsigned iters) {
   ProgramBuilder b("busy");
   isa::Reg r = b.ireg(), i = b.ireg(), n = b.ireg();
@@ -25,7 +33,7 @@ TEST(Machine, LowEndRunsToCompletion) {
   mc.arch = core::arch_preset(core::ArchKind::kSmt2);
   Machine m(mc);
   mem::PagedMemory memory;
-  const RunStats s = m.run(busy_program(200), memory, 0);
+  const RunStats s = run_single(m, busy_program(200), memory);
   EXPECT_FALSE(s.timed_out);
   EXPECT_GT(s.cycles, 0u);
   EXPECT_GT(s.committed_useful, 8u * 200u);  // 8 threads each run the loop
@@ -39,7 +47,7 @@ TEST(Machine, HighEndBuildsFourChips) {
   EXPECT_EQ(m.num_chips(), 4u);
   EXPECT_EQ(mc.total_threads(), 32u);
   mem::PagedMemory memory;
-  const RunStats s = m.run(busy_program(100), memory, 0);
+  const RunStats s = run_single(m, busy_program(100), memory);
   EXPECT_FALSE(s.timed_out);
   EXPECT_TRUE(s.dash.has_value());
 }
@@ -49,7 +57,7 @@ TEST(Machine, LowEndHasNoDashStats) {
   mc.arch = core::arch_preset(core::ArchKind::kFa1);
   Machine m(mc);
   mem::PagedMemory memory;
-  const RunStats s = m.run(busy_program(50), memory, 0);
+  const RunStats s = run_single(m, busy_program(50), memory);
   EXPECT_FALSE(s.dash.has_value());
 }
 
@@ -59,7 +67,7 @@ TEST(Machine, SlotConservationMachineWide) {
   mc.chips = 2;
   Machine m(mc);
   mem::PagedMemory memory;
-  const RunStats s = m.run(busy_program(300), memory, 0);
+  const RunStats s = run_single(m, busy_program(300), memory);
   // Total slots = chips x chip-issue-width x cycles.
   const double expect = 2.0 * 8.0 * static_cast<double>(s.cycles);
   EXPECT_NEAR(s.slots.total(), expect, 1e-6 * expect);
@@ -78,7 +86,7 @@ TEST(Machine, WatchdogFiresOnRunaway) {
   mc.max_cycles = 2000;
   Machine m(mc);
   mem::PagedMemory memory;
-  const RunStats s = m.run(b.take(), memory, 0);
+  const RunStats s = run_single(m, b.take(), memory);
   EXPECT_TRUE(s.timed_out);
   EXPECT_EQ(s.cycles, 2000u);
 }
@@ -88,7 +96,7 @@ TEST(Machine, AvgRunningThreadsBounded) {
   mc.arch = core::arch_preset(core::ArchKind::kSmt1);
   Machine m(mc);
   mem::PagedMemory memory;
-  const RunStats s = m.run(busy_program(200), memory, 0);
+  const RunStats s = run_single(m, busy_program(200), memory);
   EXPECT_GT(s.avg_running_threads, 0.0);
   EXPECT_LE(s.avg_running_threads, 8.0);
 }
@@ -117,7 +125,7 @@ TEST(Machine, UsefulIpcMatchesCommitOverCycles) {
   mc.arch = core::arch_preset(core::ArchKind::kFa2);
   Machine m(mc);
   mem::PagedMemory memory;
-  const RunStats s = m.run(busy_program(400), memory, 0);
+  const RunStats s = run_single(m, busy_program(400), memory);
   EXPECT_DOUBLE_EQ(s.useful_ipc(),
                    static_cast<double>(s.committed_useful) /
                        static_cast<double>(s.cycles));

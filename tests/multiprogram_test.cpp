@@ -1,5 +1,6 @@
-// Tests for the multiprogrammed-run extension (Machine::run_jobs) and the
-// timing address-space isolation it relies on.
+// Tests for multiprogrammed runs through the unified Machine::run(Mix)
+// entry point, the timing address-space isolation they rely on, and the
+// deprecated wrappers' parity with the new API.
 #include <gtest/gtest.h>
 
 #include "isa/builder.hpp"
@@ -35,7 +36,7 @@ TEST(MultiProgram, TwoJobsCompleteAndValidate) {
       {&build_a.program, &mem_a, build_a.args_base, 4},
       {&build_b.program, &mem_b, build_b.args_base, 4},
   };
-  const MultiRunStats r = machine.run_jobs(jobs);
+  const MultiRunStats r = machine.run(Mix{jobs});
   EXPECT_FALSE(r.combined.timed_out);
   ASSERT_EQ(r.job_finish.size(), 2u);
   EXPECT_GT(r.job_finish[0], 0u);
@@ -65,7 +66,7 @@ TEST(MultiProgram, JobsRunInDisjointTimingAddressSpaces) {
       {&p, &mem_a, 0, 4},
       {&p, &mem_b, 0, 4},
   };
-  const MultiRunStats r = machine.run_jobs(jobs);
+  const MultiRunStats r = machine.run(Mix{jobs});
   EXPECT_FALSE(r.combined.timed_out);
   EXPECT_GT(r.combined.committed_useful, 2u * 4u * 200u);
 }
@@ -77,15 +78,48 @@ TEST(MultiProgram, SingleJobMatchesPlainRun) {
 
   Machine m1(mc);
   mem::PagedMemory mem1;
-  const RunStats plain = m1.run(p, mem1, 0);
+  const RunStats plain =
+      m1.run(Mix::single(p, mem1, 0, mc.total_threads())).combined;
 
   Machine m2(mc);
   mem::PagedMemory mem2;
   const MultiRunStats multi =
-      m2.run_jobs({{&p, &mem2, 0, mc.total_threads()}});
+      m2.run(Mix{{{&p, &mem2, 0, mc.total_threads()}}});
   EXPECT_EQ(multi.makespan, plain.cycles);
   EXPECT_EQ(multi.combined.committed_useful, plain.committed_useful);
 }
+
+// The deprecated entry points must stay exact forwarders of run(Mix) for
+// the release they survive; this is the one test that still calls them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(MultiProgram, DeprecatedWrappersMatchMixRun) {
+  const isa::Program p = counted_loop(250);
+  MachineConfig mc;
+  mc.arch = core::arch_preset(core::ArchKind::kSmt2);
+
+  Machine m1(mc);
+  mem::PagedMemory mem1;
+  const MultiRunStats unified =
+      m1.run(Mix::single(p, mem1, 0, mc.total_threads()));
+
+  Machine m2(mc);
+  mem::PagedMemory mem2;
+  const RunStats legacy_single = m2.run(p, mem2, 0);
+  EXPECT_EQ(legacy_single.cycles, unified.combined.cycles);
+  EXPECT_EQ(legacy_single.committed_useful, unified.combined.committed_useful);
+  EXPECT_EQ(legacy_single.fetched, unified.combined.fetched);
+
+  Machine m3(mc);
+  mem::PagedMemory mem3;
+  const MultiRunStats legacy_jobs =
+      m3.run_jobs({{&p, &mem3, 0, mc.total_threads()}});
+  EXPECT_EQ(legacy_jobs.makespan, unified.makespan);
+  EXPECT_EQ(legacy_jobs.job_finish, unified.job_finish);
+  EXPECT_EQ(legacy_jobs.combined.committed_useful,
+            unified.combined.committed_useful);
+}
+#pragma GCC diagnostic pop
 
 TEST(MultiProgram, SmtAbsorbsMixBetterThanFa) {
   // The headline of extension E1 at test scale: the SMT2 makespan for a
@@ -103,7 +137,7 @@ TEST(MultiProgram, SmtAbsorbsMixBetterThanFa) {
         {&ba.program, &mem_a, ba.args_base, 4},
         {&bb.program, &mem_b, bb.args_base, 4},
     };
-    return machine.run_jobs(jobs).makespan;
+    return machine.run(Mix{jobs}).makespan;
   };
   EXPECT_LT(run_mix(core::ArchKind::kSmt2), run_mix(core::ArchKind::kFa8));
 }
@@ -117,9 +151,24 @@ TEST(MultiProgramDeath, MismatchedThreadTotalsAbort) {
         Machine machine(mc);
         const isa::Program p = counted_loop(10);
         mem::PagedMemory mem_a;
-        machine.run_jobs({{&p, &mem_a, 0, 3}});  // 3 != 8 contexts
+        machine.run(Mix{{{&p, &mem_a, 0, 3}}});  // 3 != 8 contexts
       },
       "sum");
+}
+
+TEST(MultiProgramDeath, ZeroThreadJobAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        MachineConfig mc;
+        mc.arch = core::arch_preset(core::ArchKind::kSmt2);
+        Machine machine(mc);
+        const isa::Program p = counted_loop(10);
+        mem::PagedMemory mem_a;
+        mem::PagedMemory mem_b;
+        machine.run(Mix{{{&p, &mem_a, 0, 8}, {&p, &mem_b, 0, 0}}});
+      },
+      "at least one thread");
 }
 
 }  // namespace

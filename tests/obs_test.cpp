@@ -237,7 +237,10 @@ sim::RunStats run_busy(obs::TraceSink* trace, Cycle metrics_interval) {
   mc.metrics_interval = metrics_interval;
   sim::Machine m(mc);
   mem::PagedMemory memory;
-  return m.run(busy_program(150), memory, 0);
+  return m
+      .run(sim::Mix::single(busy_program(150), memory, 0,
+                            mc.total_threads()))
+      .combined;
 }
 
 TEST(MachineTrace, ProducesLoadableTracksAndIdenticalStats) {

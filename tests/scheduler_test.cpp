@@ -86,7 +86,7 @@ TEST(KernelEquivalence, RunJobsMixIsBitIdentical) {
         {&ba.program, &mem_a, ba.args_base, 4},
         {&bb.program, &mem_b, bb.args_base, 4},
     };
-    return machine.run_jobs(jobs);
+    return machine.run(Mix{jobs});
   };
   const MultiRunStats fast = run_mix(false);
   const MultiRunStats slow = run_mix(true);
@@ -114,7 +114,8 @@ TEST(KernelEquivalence, DeadlockClampsToMaxCyclesExactly) {
     b.barrier(bar, n);
     b.halt();
     mem::PagedMemory memory;
-    return machine.run(b.take(), memory, 0);
+    return machine.run(Mix::single(b.take(), memory, 0, mc.total_threads()))
+        .combined;
   };
   const RunStats fast = run_deadlock(false);
   const RunStats slow = run_deadlock(true);
@@ -166,7 +167,7 @@ TEST(KernelEquivalence, RunJobsTracesRunningThreadsLikeRun) {
     traced.trace = &writer;
     Machine machine(traced);
     mem::PagedMemory memory;
-    machine.run(p, memory, 0);
+    machine.run(Mix::single(p, memory, 0, traced.total_threads()));
     writer.finish();
   }
 
@@ -178,7 +179,7 @@ TEST(KernelEquivalence, RunJobsTracesRunningThreadsLikeRun) {
     traced.trace = &writer;
     Machine machine(traced);
     mem::PagedMemory memory;
-    machine.run_jobs({{&p, &memory, 0, traced.total_threads()}});
+    machine.run(Mix{{{&p, &memory, 0, traced.total_threads()}}});
     writer.finish();
   }
 

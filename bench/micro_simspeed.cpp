@@ -4,9 +4,12 @@
 //
 // After the google-benchmark suites, a skip-ahead A/B section runs a set of
 // machine points twice — quiescence scheduler vs --no-skip — and reports
-// the skipped-cycle fraction and speedup per point, writing the results to
-// BENCH_simspeed.json (override with CSMT_SIMSPEED_JSON; empty disables)
-// so the perf trajectory is tracked across PRs. Points are labeled by
+// the skipped-cycle fraction and speedup per point, appending a run record
+// to BENCH_simspeed.json (override with CSMT_SIMSPEED_JSON; empty
+// disables): the file is a trajectory, {"runs": [...]}, one record per
+// invocation (timestamped; CSMT_SIMSPEED_LABEL names the record, e.g. a
+// commit sha in CI), so the perf history across PRs accumulates instead of
+// being overwritten. Points are labeled by
 // regime — "idle" (long quiescent spans, the scheduler's target) vs "busy"
 // (short or no gaps, where skip support must cost ~nothing) — and each
 // kernel timing is the best of CSMT_SIMSPEED_REPS runs (default 3) so the
@@ -15,6 +18,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -250,9 +254,7 @@ AbRow run_workload_point(const std::string& workload, core::ArchKind arch,
   return row;
 }
 
-void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
-  json::Value doc = json::Value::object();
-  doc["benchmark"] = std::string("micro_simspeed skip A/B");
+json::Value points_json(const std::vector<AbRow>& rows) {
   json::Value points = json::Value::array();
   for (const AbRow& r : rows) {
     json::Value p = json::Value::object();
@@ -273,7 +275,62 @@ void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
     p["stats_equal"] = r.stats_equal;
     points.push_back(std::move(p));
   }
-  doc["points"] = std::move(points);
+  return points;
+}
+
+/// Appends this run to the trajectory document instead of overwriting it:
+/// BENCH_simspeed.json accumulates one run record per invocation, so the
+/// perf history across PRs (and CI artifacts) reads straight off the file.
+/// A legacy single-run {"points": [...]} document is converted into the
+/// trajectory's first run record; an unparseable file is preserved as-is
+/// and the run starts a fresh trajectory next to it in memory (the write
+/// still replaces the file, but only after a successful parse decision).
+void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
+  json::Value doc = json::Value::object();
+  doc["benchmark"] = std::string("micro_simspeed skip A/B");
+  doc["runs"] = json::Value::array();
+
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    if (const auto prev = json::Value::parse(text)) {
+      if (const json::Value* runs = prev->find("runs")) {
+        for (const json::Value& r : runs->items())
+          doc["runs"].push_back(r);
+      } else if (const json::Value* points = prev->find("points")) {
+        json::Value legacy = json::Value::object();
+        legacy["label"] = std::string("(pre-trajectory record)");
+        json::Value pts = json::Value::array();
+        for (const json::Value& p : points->items()) pts.push_back(p);
+        legacy["points"] = std::move(pts);
+        doc["runs"].push_back(std::move(legacy));
+      }
+    } else {
+      std::fprintf(stderr,
+                   "micro_simspeed: '%s' is not valid JSON; starting a fresh "
+                   "trajectory\n",
+                   path.c_str());
+    }
+  }
+
+  json::Value rec = json::Value::object();
+  if (const char* label = std::getenv("CSMT_SIMSPEED_LABEL"))
+    rec["label"] = std::string(label);
+  {
+    char stamp[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    rec["recorded_at"] = std::string(stamp);
+  }
+  rec["reps"] = static_cast<std::uint64_t>(reps_from_env());
+  rec["points"] = points_json(rows);
+  doc["runs"].push_back(std::move(rec));
+
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) {
     std::fprintf(stderr, "micro_simspeed: cannot write '%s'\n", path.c_str());
@@ -282,8 +339,8 @@ void write_ab_json(const std::string& path, const std::vector<AbRow>& rows) {
   const std::string text = doc.dump(2);
   std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
-  std::fprintf(stderr, "micro_simspeed: wrote %s (%zu points)\n", path.c_str(),
-               rows.size());
+  std::fprintf(stderr, "micro_simspeed: wrote %s (%zu points, %zu runs)\n",
+               path.c_str(), rows.size(), doc["runs"].items().size());
 }
 
 void run_skip_ab() {

@@ -6,6 +6,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/hazards.hpp"
+#include "telemetry/regime.hpp"
 
 namespace csmt::sim {
 namespace {
@@ -108,7 +109,8 @@ std::string render_summary_table(
     const std::vector<ExperimentResult>& results) {
   AsciiTable table;
   table.header({"workload", "arch", "chips", "cycles", "useful IPC",
-                "useful%", "sync%", "mem%", "avg threads", "valid"});
+                "useful%", "sync%", "mem%", "avg threads", "regime",
+                "valid"});
   for (const ExperimentResult& r : results) {
     table.row({r.spec.workload, core::arch_name(r.spec.arch),
                std::to_string(r.spec.chips),
@@ -118,6 +120,10 @@ std::string render_summary_table(
                format_percent(r.stats.slots.fraction(Slot::kSync)),
                format_percent(r.stats.slots.fraction(Slot::kMemory)),
                format_fixed(r.stats.avg_running_threads, 2),
+               r.sim_speed.measured
+                   ? telemetry::regime_name(telemetry::classify_regime(
+                         r.sim_speed.quiet_fraction()))
+                   : "-",
                r.stats.timed_out ? "TIMEOUT" : (r.validated ? "yes" : "NO")});
   }
   return table.render();
@@ -269,6 +275,12 @@ json::Value to_json(const ExperimentResult& r) {
     speed["committed"] = r.sim_speed.committed;
     speed["cycles_per_sec"] = r.sim_speed.cycles_per_sec();  // derived
     speed["committed_kips"] = r.sim_speed.committed_kips();  // derived
+    // Derived regime tag (DESIGN.md §12): a pure function of the
+    // deterministic quiet/sim cycle counters, so cached v2 artifacts gain
+    // it on re-render without invalidating anything. result_from_json
+    // ignores it by construction (it re-derives from the counters).
+    speed["regime"] = telemetry::regime_name(
+        telemetry::classify_regime(r.sim_speed.quiet_fraction()));
     if (r.sim_speed.phases_measured) {
       json::Value phases = json::Value::object();
       for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
@@ -472,7 +484,7 @@ std::string render_json(const std::vector<ExperimentResult>& results) {
   for (const ExperimentResult& r : results) results_array.push_back(to_json(r));
   json::Value doc = json::Value::object();
   doc["schema"] = "csmt-sweep-results";
-  doc["version"] = 2;  // v2: per-point sim_speed + optional epochs
+  doc["version"] = 3;  // v3: sim_speed.regime tag; v2: per-point sim_speed
   doc["results"] = std::move(results_array);
   return doc.dump(2) + "\n";
 }

@@ -1,15 +1,22 @@
 #include "sweep/sweep.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "cli/parse.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/profile.hpp"
 #include "sim/report.hpp"
+#include "telemetry/regime.hpp"
+#include "telemetry/server.hpp"
 
 namespace csmt::sweep {
 namespace {
@@ -21,7 +28,19 @@ namespace fs = std::filesystem;
 /// v2: results carry sim_speed + optional epoch series; specs carry
 /// metrics_interval.
 /// v3: specs carry the allocation policy and epoch (csmt::alloc).
-constexpr const char* kCacheKeyVersion = "csmt-sweep-v3";
+/// v4: results schema v3 (derived sim_speed.regime tag, DESIGN.md §12).
+constexpr const char* kCacheKeyVersion = "csmt-sweep-v4";
+
+/// Progress rendering picks between two stderr styles: a `\r`-rewritten
+/// status line on a terminal, whole newline-terminated (and throttled)
+/// lines when stderr is piped to a file or a log collector.
+bool stderr_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stderr)) == 1;
+#else
+  return false;
+#endif
+}
 
 std::uint64_t fnv1a(std::string_view bytes) {
   std::uint64_t h = 1469598103934665603ull;
@@ -106,6 +125,19 @@ SweepOptions SweepOptions::from_env() {
   options.cache_dir = cli::env_string("CSMT_CACHE_DIR");
   options.ckpt_interval =
       cli::env_u64("CSMT_CKPT_INTERVAL", 0, 1, "a cycle count >= 1");
+  // Set-but-empty and "0" both mean "serve on an ephemeral port": unlike
+  // the knobs above, the interesting default (off) is not a valid port.
+  if (const char* s = std::getenv("CSMT_SERVE_TELEMETRY")) {
+    const auto port = *s ? cli::parse_u64(s) : std::optional<std::uint64_t>(0);
+    if (port && *port <= 65535) {
+      options.serve_telemetry = static_cast<int>(*port);
+    } else {
+      std::fprintf(stderr,
+                   "csmt: ignoring invalid CSMT_SERVE_TELEMETRY='%s' "
+                   "(want a port, 0 = ephemeral)\n",
+                   s);
+    }
+  }
   return options;
 }
 
@@ -142,24 +174,72 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
     const std::vector<sim::ExperimentSpec>& points) {
   std::vector<sim::ExperimentResult> results(points.size());
 
-  // Progress: one stderr status line, rewritten in place, fed by the
-  // per-point wall clock. Emission is a single fprintf, so concurrent
-  // workers interleave whole lines, never fragments.
+  // Live endpoint: started (process-wide, once) before any point runs so
+  // the console can watch the sweep from its first cycle. Serving flips
+  // the registry's enabled gate, which is what makes run_experiment attach
+  // per-run probes.
+  if (options_.serve_telemetry >= 0) {
+    telemetry::serve_global(
+        static_cast<std::uint16_t>(options_.serve_telemetry));
+  }
+  auto& registry = telemetry::Registry::global();
+  registry.gauge("sweep.points_total")
+      .set(static_cast<double>(points.size()));
+  registry.gauge("sweep.points_done").set(0.0);
+
+  // Progress: stderr only (stdout belongs to JSON artifacts, which must
+  // never interleave with progress text). On a terminal the line is
+  // rewritten in place with `\r`; piped, it becomes whole
+  // newline-terminated lines throttled to ~2/s so logs stay short and
+  // line-parseable. Emission is a single fprintf, so concurrent workers
+  // interleave whole lines, never fragments.
+  const bool tty = stderr_is_tty();
   const obs::WallTimer sweep_timer;
   std::atomic<std::uint64_t> done{0};
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> resumed{0};
+  // Per-sweep regime tally, indexed by telemetry::Regime.
+  std::array<std::atomic<std::uint64_t>, 3> regimes{};
+  std::atomic<std::int64_t> last_emit_ms{-1000};
   auto emit_progress = [&](bool final_line) {
     if (!options_.progress || points.empty()) return;
+    if (!tty && !final_line) {
+      const std::int64_t now_ms =
+          static_cast<std::int64_t>(sweep_timer.elapsed_seconds() * 1e3);
+      std::int64_t prev = last_emit_ms.load();
+      if (now_ms - prev < 500 ||
+          !last_emit_ms.compare_exchange_strong(prev, now_ms))
+        return;
+    }
     std::fprintf(
         stderr,
-        "\rcsmt sweep: %llu/%zu done, %llu resumed (hits=%llu) "
-        "elapsed=%.1fs%s",
-        static_cast<unsigned long long>(done.load()), points.size(),
-        static_cast<unsigned long long>(resumed.load()),
+        "%scsmt sweep: %llu/%zu done, %llu resumed (hits=%llu) "
+        "regimes[busy/mixed/idle]=%llu/%llu/%llu elapsed=%.1fs%s",
+        tty ? "\r" : "", static_cast<unsigned long long>(done.load()),
+        points.size(), static_cast<unsigned long long>(resumed.load()),
         static_cast<unsigned long long>(hits.load()),
-        sweep_timer.elapsed_seconds(), final_line ? "\n" : "");
+        static_cast<unsigned long long>(
+            regimes[static_cast<int>(telemetry::Regime::kBusy)].load()),
+        static_cast<unsigned long long>(
+            regimes[static_cast<int>(telemetry::Regime::kMixed)].load()),
+        static_cast<unsigned long long>(
+            regimes[static_cast<int>(telemetry::Regime::kIdle)].load()),
+        sweep_timer.elapsed_seconds(), (!tty || final_line) ? "\n" : "");
     std::fflush(stderr);
+  };
+  // Every completed point (cache hit or simulated) passes through here:
+  // tally its regime and refresh the sweep gauges the endpoint serves.
+  auto note_point = [&](const sim::ExperimentResult& r) {
+    ++done;
+    if (r.sim_speed.measured) {
+      ++regimes[static_cast<int>(
+          telemetry::classify_regime(r.sim_speed.quiet_fraction()))];
+    }
+    registry.gauge("sweep.points_done")
+        .set(static_cast<double>(done.load()));
+    registry.gauge("sweep.cache_hits").set(static_cast<double>(hits.load()));
+    registry.gauge("sweep.resumed").set(static_cast<double>(resumed.load()));
+    registry.gauge("sweep.elapsed_seconds").set(sweep_timer.elapsed_seconds());
   };
 
   // Checkpointing needs a durable directory to park snapshots in, so it
@@ -181,7 +261,7 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
       results[i] = std::move(*cached);
       ++counters_.cache_hits;
       ++hits;
-      ++done;
+      note_point(results[i]);
       emit_progress(false);
     } else {
       misses.push_back(i);
@@ -203,7 +283,7 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
     }
     ThreadPool pool(std::min<std::size_t>(options_.jobs, misses.size()));
     for (const std::size_t i : misses) {
-      pool.submit([this, i, &to_run, &results, &done, &resumed,
+      pool.submit([this, i, &to_run, &results, &resumed, &note_point,
                    &emit_progress] {
         results[i] = sim::run_experiment(to_run[i]);
         if (results[i].resumed_from_cycle > 0) ++resumed;
@@ -212,7 +292,7 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
           std::error_code ec;
           fs::remove(to_run[i].ckpt_path, ec);
         }
-        ++done;
+        note_point(results[i]);
         emit_progress(false);
       });
     }

@@ -47,7 +47,9 @@ struct SweepOptions {
   unsigned jobs = 1;
   /// Result-cache directory; empty disables caching.
   std::string cache_dir;
-  /// Progress line on stderr: "k/N done, r resumed (hits=H) elapsed=Xs".
+  /// Progress line on stderr: "k/N done, r resumed (hits=H)
+  /// regimes[busy/mixed/idle]=b/m/i elapsed=Xs" — rewritten in place on a
+  /// terminal, throttled newline-terminated lines when piped.
   bool progress = true;
   /// Fault tolerance (csmt::ckpt): snapshot every running point's machine
   /// state at this cycle interval under <cache_dir>/ckpt/, resume any point
@@ -55,10 +57,18 @@ struct SweepOptions {
   /// checkpoint once the point completes (the result cache then serves it).
   /// 0 = off; requires a cache_dir.
   Cycle ckpt_interval = 0;
+  /// Live telemetry (csmt::telemetry, DESIGN.md §12): when >= 0, run()
+  /// starts the process-wide HTTP endpoint on 127.0.0.1:<port> before
+  /// executing (0 = kernel-assigned ephemeral port) and publishes sweep
+  /// progress gauges into the registry. -1 = off. Serving samples only
+  /// registry atomics on its own threads, so a serving sweep's results and
+  /// artifacts are byte-identical to a non-serving one.
+  int serve_telemetry = -1;
 
   /// Environment defaults: CSMT_JOBS (count, or 0 for hardware width),
-  /// CSMT_CACHE_DIR (directory path), and CSMT_CKPT_INTERVAL (cycles
-  /// between checkpoints, >= 1). Malformed values warn and are ignored.
+  /// CSMT_CACHE_DIR (directory path), CSMT_CKPT_INTERVAL (cycles between
+  /// checkpoints, >= 1), and CSMT_SERVE_TELEMETRY (port, 0 = ephemeral).
+  /// Malformed values warn and are ignored.
   static SweepOptions from_env();
 };
 

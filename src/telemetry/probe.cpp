@@ -1,0 +1,61 @@
+#include "telemetry/probe.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "telemetry/regime.hpp"
+
+namespace csmt::telemetry {
+namespace {
+
+std::string make_prefix(const std::string& label) {
+  // Monotone sequence number so two sweep points with the same spec label
+  // (e.g. reruns) stay distinct registry entries.
+  static std::atomic<std::uint64_t> next_seq{0};
+  char seq[32];
+  std::snprintf(seq, sizeof seq, "run.%04llu.",
+                static_cast<unsigned long long>(
+                    next_seq.fetch_add(1, std::memory_order_relaxed)));
+  return seq + label;
+}
+
+}  // namespace
+
+RunProbe::RunProbe(const std::string& label)
+    : prefix_(make_prefix(label)),
+      start_(std::chrono::steady_clock::now()),
+      cycles_(Registry::global().gauge(prefix_ + ".cycles")),
+      quiet_fraction_(Registry::global().gauge(prefix_ + ".quiet_fraction")),
+      running_(Registry::global().gauge(prefix_ + ".running_threads")),
+      cycles_per_sec_(Registry::global().gauge(prefix_ + ".cycles_per_sec")),
+      state_(Registry::global().gauge(prefix_ + ".state")),
+      regime_code_(Registry::global().gauge(prefix_ + ".regime")),
+      epoch_ipc_(Registry::global().series(prefix_ + ".epoch_ipc")) {
+  state_.set(kRunning);
+  regime_code_.set(-1.0);
+}
+
+void RunProbe::publish_live(Cycle now, Cycle quiet_cycles, unsigned running) {
+  cycles_.set(static_cast<double>(now));
+  quiet_fraction_.set(now ? static_cast<double>(quiet_cycles) /
+                                static_cast<double>(now)
+                          : 0.0);
+  running_.set(running);
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  cycles_per_sec_.set(secs > 0 ? static_cast<double>(now) / secs : 0.0);
+}
+
+void RunProbe::finish(Cycle cycles, double quiet_fraction,
+                      double cycles_per_sec, bool validated, bool timed_out) {
+  cycles_.set(static_cast<double>(cycles));
+  quiet_fraction_.set(quiet_fraction);
+  running_.set(0);
+  cycles_per_sec_.set(cycles_per_sec);
+  regime_code_.set(
+      static_cast<double>(static_cast<int>(classify_regime(quiet_fraction))));
+  state_.set(timed_out ? kTimedOut : (validated ? kDone : kInvalid));
+}
+
+}  // namespace csmt::telemetry

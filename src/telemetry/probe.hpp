@@ -1,0 +1,61 @@
+// RunProbe — one live experiment's presence in the telemetry registry.
+//
+// run_experiment creates a probe per point (only when the registry is
+// enabled, i.e. something is serving) and hands it to the machine loop,
+// which publishes the clock, quiet-cycle fraction, and running-thread
+// count every 2^14 simulated cycles plus one epoch-IPC series point per
+// closed metrics epoch — the per-run sparkline the console streams.
+//
+// Publication is registry-only (atomics + epoch-grained series appends):
+// the probe never reads simulator state itself and nothing in the
+// simulator reads the probe, so RunStats stay bit-identical (DESIGN.md
+// §12's no-perturbation contract).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "common/types.hpp"
+#include "telemetry/registry.hpp"
+
+namespace csmt::telemetry {
+
+class RunProbe {
+ public:
+  /// Live publication stride: the machine loop publishes when
+  /// (cycle & kLiveMask) == 0 — every 16384 simulated cycles, frequent in
+  /// wall-clock terms at any realistic sim speed, invisible in cost.
+  static constexpr Cycle kLiveMask = (Cycle(1) << 14) - 1;
+
+  /// Run states, published through the `state` gauge.
+  enum State : int { kRunning = 0, kDone = 1, kInvalid = 2, kTimedOut = 3 };
+
+  /// Registers `run.<seq>.<label>.*` metrics in the global registry;
+  /// `label` is free-form (the sweep uses "workload/arch/xCHIPS/sSCALE").
+  explicit RunProbe(const std::string& label);
+
+  const std::string& prefix() const { return prefix_; }
+
+  /// Live sample from the machine loop (cycle-masked by the caller).
+  void publish_live(Cycle now, Cycle quiet_cycles, unsigned running);
+
+  /// One closed metrics epoch -> one sparkline point.
+  void push_epoch_ipc(double ipc) { epoch_ipc_.push(ipc); }
+
+  /// Final state once the run completed (or timed out).
+  void finish(Cycle cycles, double quiet_fraction, double cycles_per_sec,
+              bool validated, bool timed_out);
+
+ private:
+  std::string prefix_;
+  std::chrono::steady_clock::time_point start_;
+  Gauge& cycles_;
+  Gauge& quiet_fraction_;
+  Gauge& running_;
+  Gauge& cycles_per_sec_;
+  Gauge& state_;
+  Gauge& regime_code_;  ///< Regime enum value; -1 until the run finishes
+  Series& epoch_ipc_;
+};
+
+}  // namespace csmt::telemetry

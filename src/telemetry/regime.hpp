@@ -1,0 +1,49 @@
+// Run-regime classification (DESIGN.md §12): tags a completed point
+// busy/idle/mixed from its quiet-cycle fraction — the share of simulated
+// cycles the quiescence scheduler advanced through the quiet path
+// (DESIGN.md §8). The fraction is a pure function of the spec (quiet and
+// total cycles are deterministic counters), so the tag is deterministic
+// too: it rides in results JSON and the sweep progress line, and the
+// distributed sweep service can use it for placement (idle-heavy points to
+// skip-friendly workers first) without re-running anything.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace csmt::telemetry {
+
+enum class Regime {
+  kBusy,   ///< quiet fraction < kBusyCeiling: per-cycle work dominates
+  kIdle,   ///< quiet fraction >= kIdleFloor: long quiescent spans dominate
+  kMixed,  ///< in between: phases of both
+};
+
+/// Classification thresholds on the quiet-cycle fraction. Calibrated
+/// against BENCH_simspeed.json: the busy-labeled A/B points sit below 0.25
+/// (mgrid/ocean/swim and chase/SMT2), the idle-labeled ones above 0.75
+/// (chase/FA1 at ~0.75+ quiet).
+inline constexpr double kBusyCeiling = 0.25;
+inline constexpr double kIdleFloor = 0.75;
+
+/// Tags a run from its quiet-cycle fraction in [0, 1]. A --no-skip run
+/// reports fraction 0 and classifies busy: the tag describes how the run
+/// was executed, and a per-cycle run is all full ticks by definition.
+constexpr Regime classify_regime(double quiet_fraction) {
+  if (quiet_fraction >= kIdleFloor) return Regime::kIdle;
+  if (quiet_fraction < kBusyCeiling) return Regime::kBusy;
+  return Regime::kMixed;
+}
+
+constexpr const char* regime_name(Regime r) {
+  switch (r) {
+    case Regime::kBusy:
+      return "busy";
+    case Regime::kIdle:
+      return "idle";
+    case Regime::kMixed:
+      return "mixed";
+  }
+  return "busy";
+}
+
+}  // namespace csmt::telemetry

@@ -1,0 +1,96 @@
+#include "telemetry/registry.hpp"
+
+namespace csmt::telemetry {
+
+void Series::push(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(x);
+  } else {
+    ring_[head_] = x;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++pushed_;
+}
+
+std::vector<double> Series::snapshot(std::uint64_t* total_pushed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest element once the ring wrapped; 0 before that.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  if (total_pushed) *total_pushed = pushed_;
+  return out;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: publishers cache handles and may publish from
+  // detached threads during process teardown.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Series& Registry::series(const std::string& name, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>(capacity, mu_);
+  return *slot;
+}
+
+json::Value Registry::snapshot_json() {
+  // Take the registration mutex only to walk the maps; counter/gauge reads
+  // are relaxed atomics, so concurrent publishers are never blocked on the
+  // values themselves. Series::snapshot would deadlock re-taking mu_, so
+  // its ring is copied inline here under the one lock.
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value out = json::Value::object();
+  out["seq"] = ++seq_;
+  json::Value counters = json::Value::object();
+  for (const auto& [name, c] : counters_) counters[name] = c->value();
+  out["counters"] = std::move(counters);
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  out["gauges"] = std::move(gauges);
+  json::Value series = json::Value::object();
+  for (const auto& [name, s] : series_) {
+    json::Value one = json::Value::object();
+    json::Value points = json::Value::array();
+    const std::size_t n = s->ring_.size();
+    const std::size_t start = n < s->capacity_ ? 0 : s->head_;
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back(s->ring_[(start + i) % n]);
+    }
+    one["points"] = std::move(points);
+    one["total"] = s->pushed_;
+    series[name] = std::move(one);
+  }
+  out["series"] = std::move(series);
+  return out;
+}
+
+void Registry::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  series_.clear();
+  seq_ = 0;
+}
+
+}  // namespace csmt::telemetry

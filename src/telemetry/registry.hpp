@@ -1,0 +1,132 @@
+// csmt::telemetry — the live counter/gauge registry (DESIGN.md §12).
+//
+// Every layer of the stack publishes operational state here — scheduler
+// cycles and quiet spans, per-run epoch IPC, sweep point states, cache and
+// checkpoint counters, allocation migrations — and a wall-clock consumer
+// (the HTTP endpoint in server.hpp, or a test) snapshots it at any moment
+// without stopping the simulation.
+//
+// The no-perturbation contract: publishing writes only registry-owned
+// atomics (and, for series/run tables, registry-owned storage behind a
+// mutex taken on rare epoch-grained events). No registry operation ever
+// reads or writes simulator state, so RunStats, epoch series, traces, and
+// results JSON are bit-identical with telemetry on or off — enforced by
+// tests/telemetry_test.cpp and the CI telemetry smoke job.
+//
+// Lock discipline ("lock-light"): Counter/Gauge publication is a single
+// relaxed atomic op, safe from any thread at any rate. Name registration,
+// Series appends, and snapshots take the registry mutex — all of these
+// happen at epoch/point granularity (hundreds per second at most), never
+// per simulated cycle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace csmt::telemetry {
+
+/// Monotonic event counter. add() is wait-free and safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value gauge (doubles, bit-cast through an atomic word so torn reads
+/// are impossible). set() is wait-free and safe from any thread.
+class Gauge {
+ public:
+  void set(double x) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof x);
+    __builtin_memcpy(&bits, &x, sizeof bits);
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double value() const {
+    const std::uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double x;
+    __builtin_memcpy(&x, &bits, sizeof x);
+    return x;
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Bounded time series (a ring of the most recent `capacity` points) — the
+/// per-run epoch sparklines the console renders. push() takes the owning
+/// registry's mutex; call it at epoch granularity, not per cycle.
+class Series {
+ public:
+  explicit Series(std::size_t capacity, std::mutex& mu)
+      : capacity_(capacity ? capacity : 1), mu_(mu) {}
+
+  void push(double x);
+  /// Points in arrival order (oldest first), plus the count ever pushed.
+  std::vector<double> snapshot(std::uint64_t* total_pushed = nullptr) const;
+
+ private:
+  friend class Registry;  ///< snapshot_json reads rings under the one lock
+
+  const std::size_t capacity_;
+  std::mutex& mu_;
+  std::vector<double> ring_;
+  std::size_t head_ = 0;        ///< next write position once ring is full
+  std::uint64_t pushed_ = 0;
+};
+
+/// Process-wide registry. Handles returned by counter()/gauge()/series()
+/// are stable for the registry's lifetime (the global registry never dies),
+/// so publishers resolve a name once and then publish lock-free.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide instance every layer publishes into.
+  static Registry& global();
+
+  /// Publication gate: cheap aggregate counters are always live, but
+  /// per-run probes and series register only when something will actually
+  /// read them (the HTTP server flips this on). Keeps ctest's thousands of
+  /// run_experiment calls from growing an unread run table.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Series& series(const std::string& name, std::size_t capacity = 64);
+
+  /// One JSON object of everything: {"seq": N, "counters": {...},
+  /// "gauges": {...}, "series": {name: {"points": [...], "total": N}}}.
+  /// `seq` increments per snapshot, so stream consumers can detect gaps.
+  json::Value snapshot_json();
+
+  /// Testing hook: drops every metric (the global registry is otherwise
+  /// append-only). Outstanding Counter/Gauge/Series handles are invalidated.
+  void reset_for_test();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  // std::map: deterministic name order in snapshots, stable node addresses.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace csmt::telemetry

@@ -1,0 +1,308 @@
+#include "telemetry/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CSMT_TELEMETRY_POSIX 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace csmt::telemetry {
+
+#if CSMT_TELEMETRY_POSIX
+
+namespace {
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // macOS: rely on SO_NOSIGPIPE set at accept time
+#endif
+
+/// Blocking full write; false once the peer is gone.
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool send_all(int fd, const std::string& s) {
+  return send_all(fd, s.data(), s.size());
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nAccess-Control-Allow-Origin: *\r\nConnection: close\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// The embedded console: the same stream the standalone
+/// examples/fleet_console page renders, kept deliberately text-first (a
+/// monospace ops view, not a dashboard) so it has zero dependencies.
+constexpr const char* kConsoleHtml = R"html(<!doctype html>
+<meta charset="utf-8">
+<title>csmt fleet console</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 1.5rem; background: #14151a; color: #d7dae0; }
+  h1 { font-size: 15px; } h2 { font-size: 13px; margin: 1.2em 0 .3em; }
+  table { border-collapse: collapse; }
+  td, th { padding: .1em .8em .1em 0; text-align: left; white-space: pre; }
+  .dim { opacity: .55; } .spark { letter-spacing: .05em; }
+  .busy { color: #e8a33d; } .idle { color: #5fb4e8; }
+  .mixed { color: #a98ae8; } .ok { color: #74c476; } .bad { color: #e06666; }
+</style>
+<h1>csmt fleet console <span id=link class=dim></span></h1>
+<div id=sweep class=dim>waiting for snapshots…</div>
+<h2>runs</h2><table id=runs></table>
+<h2>counters</h2><table id=ctrs></table>
+<script>
+const BARS = '▁▂▃▄▅▆▇█';
+const REGIME = ['busy', 'idle', 'mixed'];
+const STATE = ['running', 'done', 'INVALID', 'TIMEOUT'];
+function spark(xs) {
+  if (!xs.length) return '';
+  const lo = Math.min(...xs), hi = Math.max(...xs);
+  return xs.map(x => BARS[hi > lo ?
+      Math.round((x - lo) / (hi - lo) * 7) : 3]).join('');
+}
+function render(snap) {
+  const g = snap.gauges || {}, c = snap.counters || {}, s = snap.series || {};
+  const fmt = x => x >= 1e6 ? (x / 1e6).toFixed(2) + 'M' : x;
+  document.getElementById('sweep').textContent =
+    `sweep: ${g['sweep.points_done'] ?? 0}/${g['sweep.points_total'] ?? 0} ` +
+    `done, ${g['sweep.resumed'] ?? 0} resumed, hits=${g['sweep.cache_hits'] ?? 0} ` +
+    `| regimes busy=${c['sim.regime.busy'] ?? 0} idle=${c['sim.regime.idle'] ?? 0} ` +
+    `mixed=${c['sim.regime.mixed'] ?? 0} | elapsed=${(g['sweep.elapsed_seconds'] ?? 0).toFixed(1)}s ` +
+    `| snapshot #${snap.seq}`;
+  const runs = {};
+  for (const [k, v] of Object.entries(g)) {
+    const m = k.match(/^(run\.\d+\.(.*))\.([a-z_]+)$/);
+    if (m) (runs[m[1]] ??= { label: m[2] })[m[3]] = v;
+  }
+  for (const [k, v] of Object.entries(s)) {
+    const m = k.match(/^(run\.\d+\..*)\.epoch_ipc$/);
+    if (m && runs[m[1]]) runs[m[1]].ipc = v.points;
+  }
+  let html = '<tr class=dim><th>point</th><th>state</th><th>regime</th>' +
+             '<th>cycles</th><th>Mcyc/s</th><th>epoch IPC</th></tr>';
+  for (const key of Object.keys(runs).sort().reverse().slice(0, 40)) {
+    const r = runs[key], st = STATE[r.state ?? 0] ?? '?';
+    const rg = r.regime >= 0 ? REGIME[r.regime] : '';
+    html += `<tr><td>${r.label}</td>` +
+      `<td class=${st === 'done' ? 'ok' : st === 'running' ? 'dim' : 'bad'}>${st}</td>` +
+      `<td class=${rg}>${rg}</td><td>${fmt(r.cycles ?? 0)}</td>` +
+      `<td>${((r.cycles_per_sec ?? 0) / 1e6).toFixed(2)}</td>` +
+      `<td class=spark>${spark(r.ipc ?? [])}</td></tr>`;
+  }
+  document.getElementById('runs').innerHTML = html;
+  let ct = '';
+  for (const [k, v] of Object.entries(c))
+    ct += `<tr><td class=dim>${k}</td><td>${v}</td></tr>`;
+  for (const [k, v] of Object.entries(g))
+    if (!k.startsWith('run.'))
+      ct += `<tr><td class=dim>${k}</td><td>${(+v).toFixed(3)}</td></tr>`;
+  document.getElementById('ctrs').innerHTML = ct;
+}
+const es = new EventSource('/events');
+es.addEventListener('snapshot', e => render(JSON.parse(e.data)));
+es.onerror = () => { document.getElementById('link').textContent =
+    '(stream closed — the serving process exited)'; };
+</script>
+)html";
+
+}  // namespace
+
+bool Server::start(std::uint16_t port) {
+  if (running()) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("csmt: telemetry socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    std::fprintf(stderr, "csmt: cannot serve telemetry on port %u: %s\n",
+                 static_cast<unsigned>(port), std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false);
+  was_enabled_ = registry_.enabled();
+  registry_.set_enabled(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running()) return;
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<Conn> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Unblock streaming handlers mid-send; fds are closed after the join so
+    // a concurrent handler can never see its number reused.
+    for (const Conn& c : conns_) ::shutdown(c.fd, SHUT_RDWR);
+    conns.swap(conns_);
+  }
+  for (Conn& c : conns) {
+    c.thread.join();
+    ::close(c.fd);
+  }
+  listen_fd_ = -1;
+  port_ = 0;
+  registry_.set_enabled(was_enabled_);
+}
+
+void Server::reap_finished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < conns_.size();) {
+    if (conns_[i].done->load()) {
+      conns_[i].thread.join();
+      ::close(conns_[i].fd);
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    if (stopping_.load()) return;
+    reap_finished();
+    if (r <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+#ifdef SO_NOSIGPIPE
+    const int one = 1;
+    ::setsockopt(client, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#endif
+    Conn conn;
+    conn.fd = client;
+    conn.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = conn.done;
+    conn.thread = std::thread([this, client, done] {
+      handle_client(client);
+      done->store(true);
+    });
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::handle_client(int fd) {
+  // Read just the request head; this server only ever answers GETs.
+  std::string req;
+  char buf[2048];
+  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t sp1 = req.find(' ');
+  const std::size_t sp2 = req.find(' ', sp1 + 1);
+  const std::string path = sp1 != std::string::npos && sp2 != std::string::npos
+                               ? req.substr(sp1 + 1, sp2 - sp1 - 1)
+                               : "";
+  if (req.compare(0, 4, "GET ") != 0) {
+    send_all(fd, http_response("405 Method Not Allowed", "text/plain",
+                               "GET only\n"));
+  } else if (path == "/metrics") {
+    send_all(fd, http_response("200 OK", "application/json",
+                               registry_.snapshot_json().dump(2) + "\n"));
+  } else if (path == "/events") {
+    serve_events(fd);
+  } else if (path == "/" || path == "/index.html") {
+    send_all(fd, http_response("200 OK", "text/html", kConsoleHtml));
+  } else {
+    send_all(fd, http_response("404 Not Found", "text/plain",
+                               "try /metrics, /events, or /\n"));
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  // The fd itself is closed by the reaper (or stop()); closing it here
+  // would race a concurrent stop() handing the number to a new socket.
+}
+
+void Server::serve_events(int fd) {
+  if (!send_all(fd,
+                "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Access-Control-Allow-Origin: *\r\n"
+                "Connection: keep-alive\r\n\r\n")) {
+    return;
+  }
+  while (!stopping_.load()) {
+    std::string event = "event: snapshot\ndata: ";
+    event += registry_.snapshot_json().dump();
+    event += "\n\n";
+    if (!send_all(fd, event)) return;
+    // Sleep in short slices so stop() never waits a full interval.
+    for (unsigned slept = 0; slept < sse_interval_ms_ && !stopping_.load();
+         slept += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+#else  // !CSMT_TELEMETRY_POSIX
+
+bool Server::start(std::uint16_t) {
+  std::fprintf(stderr,
+               "csmt: telemetry serving is unavailable on this platform\n");
+  return false;
+}
+void Server::stop() {}
+void Server::accept_loop() {}
+void Server::handle_client(int) {}
+void Server::serve_events(int) {}
+
+#endif
+
+std::uint16_t serve_global(std::uint16_t port) {
+  static Server* server = new Server();  // lives until process exit
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!server->running()) {
+    if (!server->start(port)) return 0;
+    std::fprintf(stderr,
+                 "csmt: telemetry on http://127.0.0.1:%u/ "
+                 "(/metrics, /events)\n",
+                 static_cast<unsigned>(server->port()));
+  }
+  return server->port();
+}
+
+}  // namespace csmt::telemetry

@@ -9,6 +9,7 @@
 #include "cache/memsys.hpp"
 #include "core/arch_config.hpp"
 #include "core/cluster.hpp"
+#include "exec/defer.hpp"
 
 namespace csmt::core {
 
@@ -32,6 +33,20 @@ class Chip {
   /// Binds a thread to the next cluster with a free hardware context.
   /// Threads are block-assigned: contexts of cluster 0 fill first.
   void attach_thread(exec::ThreadContext* tc);
+
+  /// Switches this chip into deferred mode (multi-chip machines, DESIGN.md
+  /// §13): cross-chip-visible side effects — backend fetches, atomics, sync
+  /// primitives — are queued during tick() and drained in chip order at the
+  /// Machine's cycle barrier. Both kernels run the same deferral, so their
+  /// interleavings (and artifacts) are identical.
+  void arm_deferred() {
+    memsys_.set_deferred(true);
+    for (auto& cl : clusters_) cl->set_defer_queue(&defer_);
+  }
+
+  /// Drains the queued functional side effects (barrier time only).
+  void drain_exec() { defer_.drain(); }
+  bool has_deferred_exec() const { return !defer_.empty(); }
 
   /// Advances every cluster by one cycle.
   void tick(Cycle now);
@@ -74,6 +89,7 @@ class Chip {
   ChipId id_;
   ArchConfig cfg_;
   cache::MemSys memsys_;
+  exec::DeferQueue defer_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
 };
 

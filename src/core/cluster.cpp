@@ -525,6 +525,13 @@ void Cluster::issue(Cycle now) {
         }
         u.complete_at =
             u.is_store && !u.is_atomic ? now + u.latency : r.done;
+        if (r.pending != cache::kNoPendingAccess &&
+            u.complete_at == kNeverCycle) {
+          // Deferred fetch: the completion cycle is computed at the cycle
+          // barrier. slots_ never reallocates, so the pointer is stable for
+          // the (same-cycle) lifetime of the pending record.
+          memsys_.bind_pending(r.pending, &u.complete_at);
+        }
       } else {
         u.complete_at = now + u.latency;
       }
@@ -628,6 +635,7 @@ void Cluster::fetch(Cycle now) {
 
   ThreadSlot& t = threads_[static_cast<unsigned>(chosen)];
   exec::ThreadContext& tc = *t.tc;
+  tc.set_defer(defer_);
 
   for (unsigned i = 0; i < cfg_.width; ++i) {
     if (tc.done()) break;
@@ -709,6 +717,7 @@ void Cluster::fetch(Cycle now) {
     }
     if (oi.is_halt) break;
     if (tc.sync_blocked()) break;  // entered a sync primitive and blocked
+    if (tc.defer_break()) break;   // deferred op: result lands at the barrier
   }
 }
 

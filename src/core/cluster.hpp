@@ -135,6 +135,12 @@ class Cluster {
   /// `cfg.threads` threads per cluster (Table 2).
   void attach_thread(exec::ThreadContext* tc);
 
+  /// Deferred-mode hookup (multi-chip machines, DESIGN.md §13): the owning
+  /// chip's queue for cross-chip-visible functional side effects. The fetch
+  /// stage rebinds it on every packet, so threads migrating between chips
+  /// always post into the chip that is fetching them.
+  void set_defer_queue(exec::DeferQueue* q) { defer_ = q; }
+
   // --- dynamic allocation surface (csmt::alloc, DESIGN.md §11) ---
   //
   // A migration is freeze -> drain -> detach -> attach_migrated: the
@@ -303,6 +309,7 @@ class Cluster {
   ClusterConfig cfg_;
   FetchPolicy policy_;
   cache::MemSys& memsys_;
+  exec::DeferQueue* defer_ = nullptr;  ///< owning chip's barrier queue
   branch::BranchPredictor predictor_;
   obs::TraceSink* trace_ = nullptr;
   obs::PhaseProfiler* prof_ = nullptr;

@@ -106,6 +106,12 @@ struct SimSpeed {
   /// it lives here and not in RunStats.
   std::uint64_t quiet_cycles = 0;
   std::uint64_t committed = 0;  ///< useful + sync instructions
+  /// Worker lanes the parallel kernel ran on (0 = sequential kernel,
+  /// DESIGN.md §13). Execution-strategy metadata like quiet_cycles.
+  std::uint32_t parallel_chips = 0;
+  /// std::thread::hardware_concurrency() of the host that produced this
+  /// run — context for interpreting parallel speedups across machines.
+  std::uint32_t host_threads = 0;
   bool phases_measured = false;
   std::array<double, kNumPhases> phase_seconds = {};
 

@@ -1,0 +1,81 @@
+#include "sim/parallel.hpp"
+
+#include "common/assert.hpp"
+#include "core/chip.hpp"
+
+namespace csmt::sim {
+
+namespace {
+// Spin briefly before yielding: on an undersubscribed host the barrier
+// closes in well under 256 iterations; on an oversubscribed one (or a
+// single-core host exercising the pool for coverage) the yield lets the
+// other lanes run at all.
+constexpr unsigned kSpinsBeforeYield = 256;
+}  // namespace
+
+ChipTickPool::ChipTickPool(std::vector<core::Chip*> chips, unsigned lanes)
+    : chips_(std::move(chips)), lanes_(lanes) {
+  CSMT_ASSERT(lanes_ >= 2 && lanes_ <= chips_.size());
+  lane_active_ = std::make_unique<std::atomic<std::uint8_t>[]>(lanes_);
+  for (unsigned l = 0; l < lanes_; ++l) lane_active_[l] = 0;
+  threads_.reserve(lanes_ - 1);
+  for (unsigned l = 1; l < lanes_; ++l) {
+    threads_.emplace_back([this, l] { worker(l); });
+  }
+}
+
+ChipTickPool::~ChipTickPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  go_.fetch_add(1, std::memory_order_release);
+  for (std::thread& t : threads_) t.join();
+}
+
+void ChipTickPool::run_lane(unsigned lane) {
+  bool active = false;
+  for (std::size_t i = lane; i < chips_.size(); i += lanes_) {
+    chips_[i]->tick(cycle_);
+    active |= chips_[i]->active_last_tick();
+  }
+  lane_active_[lane].store(active ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ChipTickPool::worker(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    unsigned spins = 0;
+    std::uint64_t gen;
+    while ((gen = go_.load(std::memory_order_acquire)) == seen) {
+      if (++spins >= kSpinsBeforeYield) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    seen = gen;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    run_lane(lane);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+bool ChipTickPool::tick(Cycle now) {
+  // The previous barrier fully closed before tick() returned, so resetting
+  // done_ here is ordered before the release-increment the workers acquire.
+  cycle_ = now;
+  done_.store(0, std::memory_order_relaxed);
+  go_.fetch_add(1, std::memory_order_release);
+  run_lane(0);
+  unsigned spins = 0;
+  while (done_.load(std::memory_order_acquire) != lanes_ - 1) {
+    if (++spins >= kSpinsBeforeYield) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  bool active = false;
+  for (unsigned l = 0; l < lanes_; ++l) {
+    active |= lane_active_[l].load(std::memory_order_relaxed) != 0;
+  }
+  return active;
+}
+
+}  // namespace csmt::sim

@@ -1,0 +1,57 @@
+// ChipTickPool: the parallel simulation kernel's worker pool (DESIGN.md
+// §13). One persistent thread per lane ticks a fixed subset of the chips
+// (chip i belongs to lane i % lanes) between deterministic cycle barriers;
+// the coordinator (the scheduler's thread) acts as lane 0 inline, so a
+// 2-lane pool spawns exactly one extra thread.
+//
+// Determinism contract: within a cycle every chip touches only its own
+// domain (deferred mode queues all cross-chip-visible work), so the lanes
+// never contend; everything cross-chip drains on the coordinator after the
+// barrier, in chip order — the sequential kernel's order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace csmt::core {
+class Chip;
+}
+
+namespace csmt::sim {
+
+class ChipTickPool {
+ public:
+  /// `lanes` must be in [2, chips.size()]; a 1-lane "pool" is just the
+  /// sequential loop and should not construct one of these.
+  ChipTickPool(std::vector<core::Chip*> chips, unsigned lanes);
+  ~ChipTickPool();
+  ChipTickPool(const ChipTickPool&) = delete;
+  ChipTickPool& operator=(const ChipTickPool&) = delete;
+
+  /// Ticks every chip once at `now` and waits for the cycle barrier.
+  /// Returns true when any chip changed observable state.
+  bool tick(Cycle now);
+
+  unsigned lanes() const { return lanes_; }
+
+ private:
+  void worker(unsigned lane);
+  /// Ticks this lane's chips at cycle_ and records the lane's active flag.
+  void run_lane(unsigned lane);
+
+  std::vector<core::Chip*> chips_;
+  unsigned lanes_;
+  Cycle cycle_ = 0;  ///< written by the coordinator before the go_ release
+  std::atomic<std::uint64_t> go_{0};   ///< generation counter (release-inc)
+  std::atomic<unsigned> done_{0};      ///< lanes finished this generation
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<std::atomic<std::uint8_t>[]> lane_active_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace csmt::sim

@@ -273,6 +273,8 @@ json::Value to_json(const ExperimentResult& r) {
     speed["sim_cycles"] = r.sim_speed.sim_cycles;
     speed["quiet_cycles"] = r.sim_speed.quiet_cycles;
     speed["committed"] = r.sim_speed.committed;
+    speed["parallel_chips"] = std::uint64_t{r.sim_speed.parallel_chips};
+    speed["host_threads"] = std::uint64_t{r.sim_speed.host_threads};
     speed["cycles_per_sec"] = r.sim_speed.cycles_per_sec();  // derived
     speed["committed_kips"] = r.sim_speed.committed_kips();  // derived
     // Derived regime tag (DESIGN.md §12): a pure function of the
@@ -461,6 +463,11 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
       r.sim_speed.quiet_cycles = c->as_u64();
     if (const json::Value* c = speed->find("committed"))
       r.sim_speed.committed = c->as_u64();
+    // Absent in artifacts written before the parallel kernel: keep 0.
+    if (const json::Value* c = speed->find("parallel_chips"))
+      r.sim_speed.parallel_chips = static_cast<std::uint32_t>(c->as_u64());
+    if (const json::Value* c = speed->find("host_threads"))
+      r.sim_speed.host_threads = static_cast<std::uint32_t>(c->as_u64());
     if (const json::Value* phases = speed->find("phase_seconds")) {
       r.sim_speed.phases_measured = true;
       for (std::size_t i = 0; i < obs::kNumPhases; ++i) {

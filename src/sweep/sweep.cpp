@@ -1,11 +1,13 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -29,7 +31,11 @@ namespace fs = std::filesystem;
 /// metrics_interval.
 /// v3: specs carry the allocation policy and epoch (csmt::alloc).
 /// v4: results schema v3 (derived sim_speed.regime tag, DESIGN.md §12).
-constexpr const char* kCacheKeyVersion = "csmt-sweep-v4";
+/// v5: multi-chip timing — cross-chip traffic resolves at the cycle
+/// barrier (deferred mode, DESIGN.md §13), shifting multi-chip counters
+/// relative to v4 entries. parallel_chips stays *out* of the key: the two
+/// kernels are bit-identical, so they share entries.
+constexpr const char* kCacheKeyVersion = "csmt-sweep-v5";
 
 /// Progress rendering picks between two stderr styles: a `\r`-rewritten
 /// status line on a terminal, whole newline-terminated (and throttled)
@@ -108,6 +114,7 @@ std::vector<sim::ExperimentSpec> SweepSpec::expand() const {
           spec.metrics_interval = metrics_interval;
           spec.alloc_policy = alloc_policy;
           spec.alloc_epoch = alloc_epoch;
+          spec.parallel_chips = parallel_chips;
           points.push_back(std::move(spec));
         }
       }
@@ -273,6 +280,30 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
     // run_experiment resumes from it if a previous (killed) invocation
     // left a valid snapshot behind.
     std::vector<sim::ExperimentSpec> to_run(points.begin(), points.end());
+    // Oversubscription guard: J concurrent points each ticking N lanes
+    // would put J*N runnable threads on the host. Clamp per-run lanes (not
+    // jobs — points share nothing, so point-level parallelism wins) and
+    // say so once.
+    {
+      const unsigned workers = static_cast<unsigned>(
+          std::min<std::size_t>(options_.jobs, misses.size()));
+      const unsigned hw = std::thread::hardware_concurrency();
+      bool warned = false;
+      for (const std::size_t i : misses) {
+        const unsigned requested = to_run[i].parallel_chips;
+        const unsigned granted =
+            clamp_parallel_chips(requested, workers, hw);
+        if (granted != requested && !warned) {
+          warned = true;
+          std::fprintf(stderr,
+                       "csmt: sweep would oversubscribe the host (%u jobs x "
+                       "%u lanes > %u hardware threads); clamping each run "
+                       "to %u lane(s)\n",
+                       workers, requested, hw, granted);
+        }
+        to_run[i].parallel_chips = granted;
+      }
+    }
     if (ckpt_on) {
       for (const std::size_t i : misses) {
         const std::uint64_t hash = spec_hash(to_run[i]);

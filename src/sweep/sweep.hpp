@@ -36,6 +36,10 @@ struct SweepSpec {
   alloc::PolicyKind alloc_policy = alloc::PolicyKind::kStatic;
   /// Reallocation epoch length stamped onto every point (0 = policy default).
   Cycle alloc_epoch = 0;
+  /// Parallel-kernel lanes stamped onto every point (DESIGN.md §13);
+  /// 0/1 = sequential. SweepRunner clamps this against --jobs so a grid
+  /// never oversubscribes the host (see clamp_parallel_chips).
+  unsigned parallel_chips = 0;
 
   /// Expansion order: workload-major, then arch, then chips, then scale —
   /// identical to the nesting of the old per-bench loops.
@@ -78,6 +82,23 @@ struct SweepCounters {
   std::uint64_t cache_hits = 0;  ///< points served from the result cache
   std::uint64_t resumed = 0;     ///< executed points resumed from a checkpoint
 };
+
+/// Parallel-kernel lanes a sweep grants a point that asked for `requested`
+/// while `jobs` points run concurrently on `hw` hardware threads. A grid
+/// that fits (jobs * requested <= hw) passes through untouched; an
+/// oversubscribed one clamps each run to hw / jobs lanes (floor, minimum 1
+/// = the sequential kernel) — point-level parallelism beats lane-level
+/// parallelism because points share nothing. requested <= 1 (sequential)
+/// and hw == 0 (width unknown) never clamp. Results are unaffected either
+/// way: the kernels are bit-identical (DESIGN.md §13).
+inline unsigned clamp_parallel_chips(unsigned requested, unsigned jobs,
+                                     unsigned hw) {
+  if (requested <= 1 || hw == 0) return requested;
+  if (jobs <= 1) jobs = 1;
+  if (static_cast<std::uint64_t>(jobs) * requested <= hw) return requested;
+  const unsigned lanes = hw / jobs;
+  return lanes > 1 ? lanes : 1;
+}
 
 /// Stable 64-bit key of an experiment point: FNV-1a over a canonical
 /// encoding of the spec *and* the resolved Table 2 preset, salted with the

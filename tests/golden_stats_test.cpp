@@ -123,6 +123,17 @@ TEST(GoldenStats, PaperGridMatchesNoSkipFieldByField) {
         const std::string where = wl + "/" + core::arch_name(arch) +
                                   "/chips=" + std::to_string(chips);
         expect_stats_equal(fast.stats, golden.stats, where);
+
+        // Parallel axis (DESIGN.md §13): the pooled kernel must hit the
+        // same per-cycle golden reference, not merely match the other
+        // fast kernel.
+        if (chips > 1) {
+          spec.no_skip = false;
+          spec.parallel_chips = chips;
+          const ExperimentResult pooled = run_experiment(spec);
+          expect_stats_equal(pooled.stats, golden.stats, where + "/parallel");
+          spec.parallel_chips = 0;
+        }
       }
     }
   }

@@ -1,0 +1,257 @@
+// Equivalence and guard-rail tests for the parallel simulation kernel
+// (DESIGN.md §13): ticking chip domains on worker lanes behind deterministic
+// cycle barriers must be invisible in every artifact. The grid test compares
+// full serialized results between --parallel-chips and the sequential
+// kernel; the trace test compares Chrome-trace files byte for byte on a
+// multiprogrammed 4-chip mix; the resume test crosses kernels through a
+// checkpoint in both directions; and the clamp tests pin the sweep's
+// oversubscription math.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "obs/trace.hpp"
+#include "sim/experiment.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "sweep/sweep.hpp"
+#include "workloads/workload.hpp"
+
+namespace csmt::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Serializes bare RunStats at full precision (every counter, double, and
+/// epoch sample) with the host-dependent speed block and resume cycle
+/// defaulted, so runs from different kernels — or resumed runs — compare
+/// byte for byte on simulated state only.
+std::string stats_json(const RunStats& stats) {
+  ExperimentResult r;
+  r.spec.workload = "direct";
+  r.stats = stats;
+  return render_json({std::move(r)});
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(ParallelKernel, GridMatchesSequentialBitForBit) {
+  // The golden grid: 4 archs x {1, 4} chips x 3 workloads x both scheduler
+  // kernels. chips=1 exercises the "pool degrades to sequential" edge; the
+  // no_skip axis proves lane parallelism composes with the per-cycle
+  // kernel too.
+  const std::vector<core::ArchKind> archs = {
+      core::ArchKind::kFa1, core::ArchKind::kFa2, core::ArchKind::kSmt2,
+      core::ArchKind::kSmt4};
+  const std::vector<std::string> workloads = {"swim", "mgrid", "ocean"};
+  for (const bool no_skip : {false, true}) {
+    for (const unsigned chips : {1u, 4u}) {
+      for (const core::ArchKind arch : archs) {
+        for (const std::string& wl : workloads) {
+          ExperimentSpec spec;
+          spec.workload = wl;
+          spec.arch = arch;
+          spec.chips = chips;
+          spec.scale = 1;
+          spec.metrics_interval = 128;  // the epoch series must match too
+          spec.no_skip = no_skip;
+          const std::string where =
+              wl + "/" + core::arch_name(arch) + "/chips=" +
+              std::to_string(chips) + (no_skip ? "/no_skip" : "/skip");
+
+          spec.parallel_chips = 0;
+          const ExperimentResult seq = run_experiment(spec);
+          spec.parallel_chips = 4;
+          const ExperimentResult par = run_experiment(spec);
+
+          EXPECT_TRUE(par.validated) << where;
+          EXPECT_EQ(stats_json(seq.stats), stats_json(par.stats)) << where;
+          // Skip-ahead decisions must be identical as well, not merely the
+          // final counters.
+          EXPECT_EQ(seq.sim_speed.quiet_cycles, par.sim_speed.quiet_cycles)
+              << where;
+          // The artifact records the kernel actually used: lanes clamp to
+          // the chip count, and one lane is the sequential kernel.
+          EXPECT_EQ(seq.sim_speed.parallel_chips, 0u) << where;
+          EXPECT_EQ(par.sim_speed.parallel_chips, chips > 1 ? 4u : 0u)
+              << where;
+          EXPECT_GT(par.sim_speed.host_threads, 0u) << where;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelKernel, ChromeTraceBytesMatchOnMultiprogramMix) {
+  // Per-chip trace shards flushed in chip order at the barrier must
+  // reproduce the sequential kernel's event stream exactly — including
+  // interleaving across two jobs sharing a 4-chip machine.
+  auto run_traced = [](unsigned parallel, const std::string& path) {
+    obs::ChromeTraceWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    MachineConfig mc;
+    mc.arch = core::arch_preset(core::ArchKind::kSmt2);
+    mc.chips = 4;
+    mc.parallel_chips = parallel;
+    mc.trace = &writer;
+    Machine machine(mc);
+    const auto wla = workloads::make_workload("vpenta");
+    const auto wlb = workloads::make_workload("fmm");
+    mem::PagedMemory mem_a, mem_b;
+    const unsigned total = mc.total_threads();
+    const unsigned ta = total / 2, tb = total - total / 2;
+    const auto ba = wla->build(mem_a, ta, 1);
+    const auto bb = wlb->build(mem_b, tb, 1);
+    const std::vector<Job> jobs = {
+        {&ba.program, &mem_a, ba.args_base, ta},
+        {&bb.program, &mem_b, bb.args_base, tb},
+    };
+    const MultiRunStats r = machine.run(Mix{jobs});
+    EXPECT_FALSE(r.combined.timed_out);
+    writer.finish();
+  };
+
+  const std::string seq_path =
+      (fs::path(::testing::TempDir()) / "pk_seq_trace.json").string();
+  const std::string par_path =
+      (fs::path(::testing::TempDir()) / "pk_par_trace.json").string();
+  run_traced(0, seq_path);
+  run_traced(4, par_path);
+
+  const std::string seq_bytes = read_file(seq_path);
+  const std::string par_bytes = read_file(par_path);
+  ASSERT_FALSE(seq_bytes.empty());
+  EXPECT_EQ(seq_bytes, par_bytes);
+  fs::remove(seq_path);
+  fs::remove(par_path);
+}
+
+/// Runs `spec` with the watchdog set to abort at `max_cycles`, snapshotting
+/// to `path` every `interval` cycles under the requested kernel.
+RunStats run_killed(const ExperimentSpec& spec, unsigned parallel,
+                    Cycle max_cycles, Cycle interval,
+                    const std::string& path, std::uint64_t tag) {
+  MachineConfig mc;
+  mc.arch = core::arch_preset(spec.arch);
+  mc.chips = spec.chips;
+  mc.metrics_interval = spec.metrics_interval;
+  mc.parallel_chips = parallel;
+  mc.max_cycles = max_cycles;
+  mc.ckpt_interval = interval;
+  mc.ckpt_path = path;
+  mc.ckpt_spec_hash = tag;
+  Machine machine(mc);
+  const auto wl = workloads::make_workload(spec.workload);
+  mem::PagedMemory memory;
+  const workloads::WorkloadBuild build =
+      wl->build(memory, mc.total_threads(), spec.scale);
+  return machine
+      .run(Mix::single(build.program, memory, build.args_base,
+                       mc.total_threads()))
+      .combined;
+}
+
+TEST(ParallelKernel, CrossKernelCkptResumeBothDirections) {
+  // A checkpoint is kernel-neutral: a run killed under either kernel must
+  // resume under the other and finish bit-identical to the uninterrupted
+  // sequential reference.
+  ExperimentSpec spec;
+  spec.workload = "ocean";
+  spec.arch = core::ArchKind::kSmt4;
+  spec.chips = 4;
+  spec.scale = 1;
+  spec.metrics_interval = 128;
+  const ExperimentResult ref = run_experiment(spec);
+  ASSERT_FALSE(ref.stats.timed_out);
+  ASSERT_GT(ref.stats.cycles, 8u);
+  const Cycle interval = std::max<Cycle>(ref.stats.cycles / 4, 1);
+  constexpr std::uint64_t kTag = 0xC805;
+
+  unsigned leg = 0;
+  for (const auto& [kill_lanes, resume_lanes] :
+       {std::pair<unsigned, unsigned>{0, 4},
+        std::pair<unsigned, unsigned>{4, 0}}) {
+    const std::string where = "kill_lanes=" + std::to_string(kill_lanes) +
+                              "/resume_lanes=" + std::to_string(resume_lanes);
+    const std::string path =
+        (fs::path(::testing::TempDir()) /
+         ("pk-cross-" + std::to_string(leg++) + ".ckpt"))
+            .string();
+    fs::remove(path);
+
+    const RunStats partial = run_killed(spec, kill_lanes,
+                                        ref.stats.cycles / 2, interval, path,
+                                        kTag);
+    ASSERT_TRUE(partial.timed_out) << where;
+    ASSERT_TRUE(fs::exists(path)) << where;
+
+    ExperimentSpec resume = spec;
+    resume.parallel_chips = resume_lanes;
+    resume.ckpt_interval = interval;
+    resume.ckpt_path = path;
+    resume.ckpt_tag = kTag;
+    const ExperimentResult resumed = run_experiment(resume);
+    ASSERT_GT(resumed.resumed_from_cycle, 0u) << where;
+    EXPECT_TRUE(resumed.validated) << where;
+    EXPECT_EQ(stats_json(resumed.stats), stats_json(ref.stats)) << where;
+    fs::remove(path);
+  }
+}
+
+TEST(ParallelKernel, SweepClampMath) {
+  using sweep::clamp_parallel_chips;
+  // Sequential requests and unknown hardware width never clamp.
+  EXPECT_EQ(clamp_parallel_chips(0, 8, 4), 0u);
+  EXPECT_EQ(clamp_parallel_chips(1, 8, 4), 1u);
+  EXPECT_EQ(clamp_parallel_chips(4, 8, 0), 4u);
+  // Grids that fit pass through untouched (boundary included).
+  EXPECT_EQ(clamp_parallel_chips(4, 2, 8), 4u);
+  EXPECT_EQ(clamp_parallel_chips(4, 2, 16), 4u);
+  EXPECT_EQ(clamp_parallel_chips(2, 1, 2), 2u);
+  // Oversubscribed grids clamp to floor(hw / jobs), never below 1.
+  EXPECT_EQ(clamp_parallel_chips(4, 4, 8), 2u);
+  EXPECT_EQ(clamp_parallel_chips(8, 3, 8), 2u);
+  EXPECT_EQ(clamp_parallel_chips(4, 16, 8), 1u);
+  EXPECT_EQ(clamp_parallel_chips(2, 1, 1), 1u);
+  // jobs 0 (auto) is treated as one worker.
+  EXPECT_EQ(clamp_parallel_chips(4, 0, 2), 2u);
+}
+
+TEST(ParallelKernel, EnvAndSpecPlumbing) {
+  setenv("CSMT_PARALLEL_CHIPS", "4", 1);
+  EXPECT_EQ(cli::Options::from_env().parallel_chips, 4u);
+  setenv("CSMT_PARALLEL_CHIPS", "not-a-number", 1);
+  EXPECT_EQ(cli::Options::from_env().parallel_chips, 0u);
+  unsetenv("CSMT_PARALLEL_CHIPS");
+  EXPECT_EQ(cli::Options::from_env().parallel_chips, 0u);
+
+  // The kernel choice is stamped grid-wide but stays out of the cache
+  // identity: both kernels' results are interchangeable.
+  sweep::SweepSpec grid;
+  grid.workloads = {"swim"};
+  grid.archs = {core::ArchKind::kSmt2};
+  grid.chips = {4};
+  grid.parallel_chips = 4;
+  const auto points = grid.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].parallel_chips, 4u);
+  sim::ExperimentSpec sequential = points[0];
+  sequential.parallel_chips = 0;
+  EXPECT_TRUE(sequential == points[0]);
+  EXPECT_EQ(sweep::spec_hash(sequential), sweep::spec_hash(points[0]));
+}
+
+}  // namespace
+}  // namespace csmt::sim

@@ -202,6 +202,14 @@ TEST(Scheduler, QuietCyclesEngageOnSyncHeavyPoints) {
   EXPECT_GT(r.sim_speed.quiet_cycles, 0u);
   EXPECT_GT(r.sim_speed.quiet_fraction(), 0.0);
   EXPECT_LT(r.sim_speed.quiet_fraction(), 1.0);
+
+  // The skip horizon is computed from the same post-barrier state under
+  // the parallel kernel, so its decisions — not just the final counters —
+  // must be identical (DESIGN.md §13).
+  spec.parallel_chips = 4;
+  const ExperimentResult pooled = run_experiment(spec);
+  EXPECT_EQ(pooled.sim_speed.quiet_cycles, r.sim_speed.quiet_cycles);
+  EXPECT_EQ(stats_json(pooled), stats_json(r));
 }
 
 }  // namespace

@@ -22,6 +22,9 @@
 #include <sys/resource.h>
 #include <unistd.h>
 #endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "cli/options.hpp"
 #include "cli/parse.hpp"
@@ -68,6 +71,16 @@ inline std::uint64_t current_rss_bytes() {
   }
 #endif
   return 0;
+}
+
+/// Returns freed heap pages to the OS where the allocator supports it
+/// (glibc malloc_trim; a no-op elsewhere). Bench points call this between
+/// sweep points so each point's RSS delta measures *its* footprint rather
+/// than whatever the allocator retained from earlier points.
+inline void trim_host_memory() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
 }
 
 /// High-water resident-set size of this process, in kilobytes (0 where

@@ -13,7 +13,10 @@
 // regime — "idle" (long quiescent spans, the scheduler's target) vs "busy"
 // (short or no gaps, where skip support must cost ~nothing) — and each
 // kernel timing is the best of CSMT_SIMSPEED_REPS runs (default 3) so the
-// small busy points aren't noise-dominated. Per-point peak RSS rides along.
+// small busy points aren't noise-dominated. Per-point peak RSS and the
+// point's own RSS delta (measured from a malloc-trimmed baseline) ride
+// along; the parallel A/B is skipped (marked host_limited) on hosts with
+// fewer threads than the point wants lanes.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -130,9 +133,15 @@ struct AbRow {
   std::uint64_t cycles = 0;
   std::uint64_t committed = 0;
   std::uint64_t quiet_cycles = 0;
+  /// Per-cluster cycles skipped while the machine was busy (lazy replay,
+  /// DESIGN.md §14) — cluster-cycles, so it can exceed `cycles`.
+  std::uint64_t cluster_quiet_cycles = 0;
   double skip_seconds = 0.0;
   double noskip_seconds = 0.0;
   std::uint64_t peak_rss_kb = 0;  ///< process high-water mark after the point
+  /// RSS growth across this point (post-point minus pre-point, after the
+  /// previous point's trim): the footprint *this* point adds.
+  std::uint64_t rss_delta_kb = 0;
   bool stats_equal = false;
 
   double quiet_fraction() const {
@@ -160,6 +169,16 @@ unsigned reps_from_env() {
   return 3;
 }
 
+/// Point epilogue: high-water + per-point RSS delta, then hand freed pages
+/// back to the OS so the next point starts from a trimmed baseline.
+void finish_point_rss(AbRow& row, std::uint64_t rss_before) {
+  row.peak_rss_kb = bench::peak_rss_kb();
+  const std::uint64_t rss_after = bench::current_rss_bytes();
+  row.rss_delta_kb =
+      rss_after > rss_before ? (rss_after - rss_before) / 1024 : 0;
+  bench::trim_host_memory();
+}
+
 AbRow run_chase_point(core::ArchKind arch, unsigned chips, std::uint64_t iters,
                       const char* regime) {
   AbRow row;
@@ -167,6 +186,7 @@ AbRow run_chase_point(core::ArchKind arch, unsigned chips, std::uint64_t iters,
   row.arch = core::arch_name(arch);
   row.regime = regime;
   row.chips = chips;
+  const std::uint64_t rss_before = bench::current_rss_bytes();
   const unsigned reps = reps_from_env();
   sim::RunStats skip_stats, noskip_stats;
   row.stats_equal = true;
@@ -205,12 +225,13 @@ AbRow run_chase_point(core::ArchKind arch, unsigned chips, std::uint64_t iters,
         row.cycles = stats.cycles;
         row.committed = stats.committed_useful + stats.committed_sync;
         row.quiet_cycles = machine.quiet_cycles();
+        row.cluster_quiet_cycles = machine.cluster_quiet_cycles();
       }
     }
   }
   row.stats_equal =
       row.stats_equal && bench::stats_match(skip_stats, noskip_stats);
-  row.peak_rss_kb = bench::peak_rss_kb();
+  finish_point_rss(row, rss_before);
   return row;
 }
 
@@ -221,6 +242,7 @@ AbRow run_workload_point(const std::string& workload, core::ArchKind arch,
   row.arch = core::arch_name(arch);
   row.regime = regime;
   row.chips = chips;
+  const std::uint64_t rss_before = bench::current_rss_bytes();
   sim::ExperimentSpec spec;
   spec.workload = workload;
   spec.arch = arch;
@@ -249,9 +271,10 @@ AbRow run_workload_point(const std::string& workload, core::ArchKind arch,
   row.cycles = skip.stats.cycles;
   row.committed = skip.stats.committed_useful + skip.stats.committed_sync;
   row.quiet_cycles = skip.sim_speed.quiet_cycles;
+  row.cluster_quiet_cycles = skip.sim_speed.cluster_quiet_cycles;
   row.stats_equal =
       row.stats_equal && bench::stats_match(skip.stats, noskip.stats);
-  row.peak_rss_kb = bench::peak_rss_kb();
+  finish_point_rss(row, rss_before);
   return row;
 }
 
@@ -271,6 +294,10 @@ struct ParAbRow {
   double seq_seconds = 0.0;
   double par_seconds = 0.0;
   bool stats_equal = false;
+  /// True when the host has fewer threads than the point wants lanes: the
+  /// A/B was not run (a "slowdown" there measures host oversubscription,
+  /// not the kernel) and the timings are zero.
+  bool host_limited = false;
 
   double speedup() const {
     return par_seconds > 0 ? seq_seconds / par_seconds : 0.0;
@@ -284,6 +311,14 @@ ParAbRow run_parallel_point(core::ArchKind arch, unsigned chips,
   row.arch = core::arch_name(arch);
   row.chips = chips;
   row.lanes = lanes;
+  // A host narrower than the lane count cannot time the parallel kernel
+  // meaningfully — every lane would contend for the same cores and the
+  // "speedup" would really measure oversubscription. Mark the row instead
+  // of polluting the trajectory with a host artifact.
+  if (std::thread::hardware_concurrency() < lanes) {
+    row.host_limited = true;
+    return row;
+  }
   const unsigned reps = reps_from_env();
   sim::RunStats seq_stats, par_stats;
   row.stats_equal = true;
@@ -336,6 +371,7 @@ json::Value parallel_points_json(const std::vector<ParAbRow>& rows) {
     p["par_seconds"] = r.par_seconds;
     p["speedup"] = r.speedup();
     p["stats_equal"] = r.stats_equal;
+    p["host_limited"] = r.host_limited;
     points.push_back(std::move(p));
   }
   return points;
@@ -353,12 +389,14 @@ json::Value points_json(const std::vector<AbRow>& rows) {
     p["committed"] = r.committed;
     p["quiet_cycles"] = r.quiet_cycles;
     p["quiet_fraction"] = r.quiet_fraction();
+    p["cluster_quiet_cycles"] = r.cluster_quiet_cycles;
     p["skip_seconds"] = r.skip_seconds;
     p["noskip_seconds"] = r.noskip_seconds;
     p["skip_cycles_per_sec"] = r.skip_cps();
     p["noskip_cycles_per_sec"] = r.noskip_cps();
     p["speedup"] = r.speedup();
     p["peak_rss_kb"] = r.peak_rss_kb;
+    p["rss_delta_kb"] = r.rss_delta_kb;
     p["stats_equal"] = r.stats_equal;
     points.push_back(std::move(p));
   }
@@ -465,16 +503,18 @@ void run_skip_ab() {
 
   std::printf(
       "\nskip-ahead A/B (quiescence scheduler vs --no-skip, best of %u)\n"
-      "%-8s %-6s %-5s %5s %12s %8s %10s %10s %8s %9s %6s\n",
+      "%-8s %-6s %-5s %5s %12s %8s %10s %10s %10s %8s %8s %6s\n",
       reps_from_env(), "point", "arch", "regime", "chips", "cycles", "quiet%",
-      "skip-cps", "noskip-cps", "speedup", "rss-kb", "equal");
+      "cl-quiet", "skip-cps", "noskip-cps", "speedup", "drss-kb", "equal");
   for (const AbRow& r : rows) {
     std::printf(
-        "%-8s %-6s %-5s %5u %12llu %7.1f%% %10.3e %10.3e %7.2fx %9llu %6s\n",
+        "%-8s %-6s %-5s %5u %12llu %7.1f%% %10llu %10.3e %10.3e %7.2fx "
+        "%8llu %6s\n",
         r.name.c_str(), r.arch.c_str(), r.regime.c_str(), r.chips,
         static_cast<unsigned long long>(r.cycles), 100.0 * r.quiet_fraction(),
-        r.skip_cps(), r.noskip_cps(), r.speedup(),
-        static_cast<unsigned long long>(r.peak_rss_kb),
+        static_cast<unsigned long long>(r.cluster_quiet_cycles), r.skip_cps(),
+        r.noskip_cps(), r.speedup(),
+        static_cast<unsigned long long>(r.rss_delta_kb),
         r.stats_equal ? "yes" : "NO");
   }
 
@@ -485,6 +525,14 @@ void run_skip_ab() {
       reps_from_env(), std::thread::hardware_concurrency(), "point", "arch",
       "chips", "lanes", "cycles", "seq-s", "par-s", "speedup", "equal");
   for (const ParAbRow& r : par_rows) {
+    if (r.host_limited) {
+      std::printf(
+          "%-8s %-6s %5u %5u   skipped: host has %u threads < %u lanes "
+          "(host_limited)\n",
+          r.name.c_str(), r.arch.c_str(), r.chips, r.lanes,
+          std::thread::hardware_concurrency(), r.lanes);
+      continue;
+    }
     std::printf("%-8s %-6s %5u %5u %12llu %10.3f %10.3f %7.2fx %6s\n",
                 r.name.c_str(), r.arch.c_str(), r.chips, r.lanes,
                 static_cast<unsigned long long>(r.cycles), r.seq_seconds,

@@ -1,6 +1,6 @@
-// CI perf-regression gate (DESIGN.md §9): times one busy and one idle
-// simspeed point in-process, median of three runs per kernel, and fails
-// when the simulator got meaningfully slower.
+// CI perf-regression gate (DESIGN.md §9): times busy, idle, and
+// cluster-idle (DESIGN.md §14) simspeed points in-process, median of three
+// runs per kernel, and fails when the simulator got meaningfully slower.
 //
 // Two kinds of checks:
 //  * hardware-independent ratios — the skip kernel's speedup over --no-skip
@@ -63,10 +63,34 @@ double median3(double a, double b, double c) {
   return std::max(std::min(a, b), std::min(std::max(a, b), c));
 }
 
+/// The "cluster-idle" gate program (DESIGN.md §14): thread 0 runs a long
+/// serial loop while every other thread — each alone on its own FA2
+/// cluster — blocks at the final barrier. The machine never quiesces as a
+/// whole (cluster 0 stays active), so the point isolates the cost/win of
+/// component-granular quiescence: the blocked clusters must sleep.
+isa::Program cluster_idle_program(unsigned total_threads,
+                                  std::uint64_t iters) {
+  isa::ProgramBuilder b("cluster-idle");
+  const isa::Reg bar = b.ireg(), n = b.ireg(), r = b.ireg(), i = b.ireg(),
+                 cnt = b.ireg();
+  const isa::Label join = b.new_label();
+  b.li(bar, 64);
+  b.li(n, total_threads);
+  b.bne(b.tid(), b.zero(), join);  // everyone but tid 0: straight to join
+  b.li(r, 1);
+  b.li(cnt, static_cast<std::int64_t>(iters));
+  b.for_range(i, 0, cnt, 1, [&] { b.add(r, r, r); });
+  b.bind(join);
+  b.barrier(bar, n);
+  b.halt();
+  return b.take();
+}
+
 /// Times one kernel flavor of a point: median of three in-process runs.
 /// `parallel_chips` > 0 uses the parallel kernel (DESIGN.md §13).
 double time_kernel(const GatePoint& pt, bool no_skip, sim::RunStats* stats,
                    unsigned parallel_chips = 0) {
+  const bool cluster_idle = pt.name == "cluster-idle";
   double secs[3] = {};
   for (int rep = 0; rep < 3; ++rep) {
     sim::MachineConfig mc;
@@ -76,12 +100,19 @@ double time_kernel(const GatePoint& pt, bool no_skip, sim::RunStats* stats,
     mc.parallel_chips = parallel_chips;
     sim::Machine machine(mc);
     mem::PagedMemory memory;
-    bench::init_chase_memory(memory, mc.total_threads(), pt.iters);
-    const isa::Program program = bench::chase_program(pt.iters);
+    Addr args_base = 0;
+    isa::Program program;
+    if (cluster_idle) {
+      program = cluster_idle_program(mc.total_threads(), pt.iters);
+    } else {
+      bench::init_chase_memory(memory, mc.total_threads(), pt.iters);
+      program = bench::chase_program(pt.iters);
+      args_base = bench::kChaseBase;
+    }
     bench::StopWatch timer;
     const sim::RunStats s =
         machine
-            .run(sim::Mix::single(program, memory, bench::kChaseBase,
+            .run(sim::Mix::single(program, memory, args_base,
                                   machine.config().total_threads()))
             .combined;
     secs[rep] = timer.seconds();
@@ -197,6 +228,10 @@ int main(int argc, char** argv) {
       // Idle: one-wide clusters serialized on remote misses — long spans,
       // where the scheduler must keep its big win.
       {"chase", core::ArchKind::kFa1, 4, 20000, "idle"},
+      // Cluster-idle: one cluster busy, seven blocked (DESIGN.md §14) — the
+      // machine never quiesces, so the speedup here is purely per-cluster
+      // sleep with lazy replay. Its floors lock the tentpole win in.
+      {"cluster-idle", core::ArchKind::kFa2, 4, 20000, "busy"},
   };
 
   std::vector<GateResult> results;

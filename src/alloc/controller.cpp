@@ -204,7 +204,7 @@ void Controller::on_epoch(Cycle now) {
 
   for (const Migration& m : moves) {
     const Location& l = loc_[m.mix_thread];
-    clusters_[l.cluster]->freeze_context(l.slot);
+    clusters_[l.cluster]->freeze_context(l.slot, now);
     pending_.push_back({m.mix_thread, m.to_cluster, now, false, 0, false});
     if (trace_) {
       trace_->instant({0, 0}, "migrate_start", now,

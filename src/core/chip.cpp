@@ -21,6 +21,17 @@ Chip::Chip(ChipId id, const ArchConfig& cfg,
         static_cast<ClusterId>(c), cfg.cluster, cfg.fetch_policy, memsys_,
         trace, prof, pid));
   }
+  // All clusters start awake, linked in id order (the baseline tick order).
+  Cluster* prev = nullptr;
+  for (auto& cl : clusters_) {
+    cl->set_chip(this);
+    if (prev) {
+      prev->next_active_ = cl.get();
+    } else {
+      active_head_ = cl.get();
+    }
+    prev = cl.get();
+  }
 }
 
 void Chip::trace_flush(Cycle end) {
@@ -38,29 +49,148 @@ void Chip::attach_thread(exec::ThreadContext* tc) {
 }
 
 void Chip::tick(Cycle now) {
-  for (auto& cl : clusters_) cl->tick(now);
-}
-
-bool Chip::active_last_tick() const {
-  for (const auto& cl : clusters_) {
-    if (cl->active_last_tick()) return true;
+  if (!wake_pending_.empty() || next_wake_ <= now) process_wakes(now);
+  bool any = false;
+  ticking_ = true;
+  tick_now_ = now;
+  Cluster* prev = nullptr;
+  for (Cluster* c = active_head_; c != nullptr;) {
+    ticking_id_ = c->id();
+    ticking_node_ = c;
+    c->tick(now);
+    // Read the successor only after the tick: an in-tick wake of a
+    // higher-id cluster splices it in right here, and the baseline ticks
+    // that cluster this same cycle.
+    Cluster* next = c->next_active_;
+    if (c->active_last_tick()) {
+      any = true;
+      c->idle_streak_ = 0;
+      prev = c;
+    } else if (lazy_ && c->try_sleep(now)) {
+      if (prev) {
+        prev->next_active_ = next;
+      } else {
+        active_head_ = next;
+      }
+      c->next_active_ = nullptr;
+      ++asleep_n_;
+      if (c->sleep_until_ < next_wake_) next_wake_ = c->sleep_until_;
+    } else {
+      prev = c;
+    }
+    c = next;
   }
-  return false;
+  ticking_ = false;
+  last_active_ = any;
 }
 
 Cycle Chip::next_event(Cycle now) {
-  // Every cluster's next_event must run (it primes the quiet-tick plan),
-  // so no early-out on a now+1 horizon.
+  // Every awake cluster's next_event must run (it primes the quiet-tick
+  // plan), so no early-out on a now+1 horizon. Sleepers keep the horizon
+  // captured at sleep time: re-probing would trip the already-primed-plan
+  // assertion, and nothing internal changed, so the stored answer is
+  // exactly what a probe would recompute.
   Cycle ev = memsys_.next_event(now);
+  if (!wake_pending_.empty()) ev = now + 1;  // queued wake: work next cycle
   for (auto& cl : clusters_) {
-    const Cycle c = cl->next_event(now);
+    const Cycle c = cl->asleep() ? cl->sleep_until() : cl->next_event(now);
     if (c < ev) ev = c;
   }
   return ev;
 }
 
 void Chip::quiet_tick(Cycle now) {
-  for (auto& cl : clusters_) cl->quiet_tick(now);
+  for (Cluster* c = active_head_; c != nullptr; c = c->next_active_) {
+    c->quiet_tick(now);
+  }
+}
+
+void Chip::settle(Cycle upto) {
+  if (asleep_n_ == 0) return;
+  for (auto& cl : clusters_) {
+    if (cl->asleep_) cl->settle(upto);
+  }
+}
+
+void Chip::link_active(Cluster* c) {
+  if (!active_head_ || c->id() < active_head_->id()) {
+    c->next_active_ = active_head_;
+    active_head_ = c;
+    return;
+  }
+  Cluster* p = active_head_;
+  while (p->next_active_ && p->next_active_->id() < c->id()) {
+    p = p->next_active_;
+  }
+  c->next_active_ = p->next_active_;
+  p->next_active_ = c;
+}
+
+void Chip::notify_woken(Cluster* c) {
+  CSMT_ASSERT(asleep_n_ > 0);
+  --asleep_n_;
+  link_active(c);
+}
+
+void Chip::signal_wake(Cluster* c) {
+  if (!c->asleep_ || c->wake_queued_) return;
+  if (ticking_ && c->id() > ticking_id_) {
+    // The release lands mid-tick and the baseline's id-ordered loop would
+    // tick `c` later this same cycle with the release visible: wake it in
+    // place and splice it in after the current node so the loop reaches
+    // it. (Only single-chip mode takes this path — with chips > 1 all sync
+    // effects defer to the barrier drain, where ticking_ is false.)
+    c->wake(tick_now_);
+    CSMT_ASSERT(asleep_n_ > 0);
+    --asleep_n_;
+    Cluster* p = ticking_node_;
+    while (p->next_active_ && p->next_active_->id() < c->id()) {
+      p = p->next_active_;
+    }
+    c->next_active_ = p->next_active_;
+    p->next_active_ = c;
+  } else {
+    // Queue for the top of the next tick — exactly when the baseline's
+    // order first lets the target observe the release (an earlier-id
+    // cluster already ticked this cycle; a barrier-drain release happens
+    // after every cluster ticked).
+    c->wake_queued_ = true;
+    wake_pending_.push_back(c);
+  }
+}
+
+void Chip::process_wakes(Cycle now) {
+  for (Cluster* c : wake_pending_) {
+    if (!c->asleep_) {
+      c->wake_queued_ = false;  // woke through another path meanwhile
+      continue;
+    }
+    c->wake(now);
+    CSMT_ASSERT(asleep_n_ > 0);
+    --asleep_n_;
+    link_active(c);
+  }
+  wake_pending_.clear();
+  if (next_wake_ <= now) {
+    next_wake_ = kNeverCycle;
+    for (auto& cl : clusters_) {
+      if (!cl->asleep_) continue;
+      if (cl->sleep_until_ <= now) {
+        cl->wake(now);
+        CSMT_ASSERT(asleep_n_ > 0);
+        --asleep_n_;
+        link_active(cl.get());
+      } else if (cl->sleep_until_ < next_wake_) {
+        next_wake_ = cl->sleep_until_;
+      }
+    }
+  }
+}
+
+std::uint64_t Chip::lazy_replayed() const {
+  std::uint64_t n = 0;
+  for (const auto& cl : clusters_) n += cl->lazy_replayed();
+  return n;
 }
 
 bool Chip::finished() const {

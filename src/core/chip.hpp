@@ -48,21 +48,54 @@ class Chip {
   void drain_exec() { defer_.drain(); }
   bool has_deferred_exec() const { return !defer_.empty(); }
 
-  /// Advances every cluster by one cycle.
+  /// Advances the chip by one cycle. With lazy mode on (DESIGN.md §14) only
+  /// the clusters on the intrusive active list take a full tick; a cluster
+  /// that stays inactive past its probe backoff falls asleep and is
+  /// unlinked, so a busy-machine cycle costs O(active clusters). A chip
+  /// whose clusters are all asleep does no per-cycle work at all.
   void tick(Cycle now);
 
   /// True when any cluster changed observable state in the tick at `now`.
-  bool active_last_tick() const;
+  bool active_last_tick() const { return last_active_; }
 
   /// Earliest cycle > `now` at which a full tick could change observable
   /// state: the minimum of the clusters' horizons and the memory system's
   /// earliest in-flight completion. See Cluster::next_event for the
-  /// contract; like it, this primes the clusters' quiet-tick plans.
+  /// contract; like it, this primes the awake clusters' quiet-tick plans.
+  /// Sleeping clusters contribute the horizon captured when they fell
+  /// asleep — never a re-probe, which would re-prime an already-primed
+  /// plan (and nothing internal changed, so the stored answer is exact).
   Cycle next_event(Cycle now);
 
-  /// Replays per-cycle accounting on every cluster for one cycle of a
-  /// machine-wide quiescent span.
+  /// Replays per-cycle accounting on every *awake* cluster for one cycle of
+  /// a machine-wide quiescent span. Sleeping clusters' span cycles are
+  /// replayed once, at wake time, by Cluster::settle — never twice.
   void quiet_tick(Cycle now);
+
+  /// Enables cluster-level sleep (off under --no-skip and under tracing,
+  /// where lazy replay would emit events out of timestamp order).
+  void set_lazy(bool lazy) { lazy_ = lazy; }
+
+  /// Replays all sleeping clusters' skipped cycles < `upto` (they stay
+  /// asleep). Called before any external stats read: checkpoint saves,
+  /// epoch-sampler closes, end of run.
+  void settle(Cycle upto);
+
+  /// Wake request from a cluster's unblock hook. Mid-tick wakes of a
+  /// higher-id cluster happen in place (the baseline would tick it later
+  /// this same cycle, after the release); everything else queues for the
+  /// top of the next tick, matching when the baseline's tick order lets
+  /// the target observe the release. In deferred (multi-chip) mode hooks
+  /// only fire at the coordinator's barrier drain, so wakes land in
+  /// wake_pending_ regardless of lane striping.
+  void signal_wake(Cluster* c);
+
+  /// A cluster woke itself outside tick() (freeze/detach/attach settling):
+  /// relink it into the active list.
+  void notify_woken(Cluster* c);
+
+  /// Cycles skipped and lazily replayed across all clusters.
+  std::uint64_t lazy_replayed() const;
 
   bool finished() const;
 
@@ -86,11 +119,30 @@ class Chip {
   void trace_flush(Cycle end);
 
  private:
+  /// Wakes every cluster whose scheduled or queued wake is due at `now`.
+  void process_wakes(Cycle now);
+  /// Sorted (by cluster id) insert into the intrusive active list, so the
+  /// tick order of awake clusters always matches the baseline's id order.
+  void link_active(Cluster* c);
+
   ChipId id_;
   ArchConfig cfg_;
   cache::MemSys memsys_;
   exec::DeferQueue defer_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
+
+  // Cluster-level quiescence state (DESIGN.md §14); all transient.
+  Cluster* active_head_ = nullptr;      ///< awake clusters, id order
+  std::vector<Cluster*> wake_pending_;  ///< hook wakes for the next tick
+  Cycle next_wake_ = kNeverCycle;       ///< earliest sleeper self-wake
+  unsigned asleep_n_ = 0;
+  bool lazy_ = false;
+  bool last_active_ = true;
+  // Mid-tick context for signal_wake's in-place path.
+  bool ticking_ = false;
+  ClusterId ticking_id_ = 0;
+  Cycle tick_now_ = 0;
+  Cluster* ticking_node_ = nullptr;
 };
 
 }  // namespace csmt::core

@@ -4,6 +4,7 @@
 
 #include "ckpt/serializer.hpp"
 #include "common/assert.hpp"
+#include "core/chip.hpp"
 
 namespace csmt::core {
 namespace {
@@ -50,6 +51,7 @@ void Cluster::attach_thread(exec::ThreadContext* tc) {
   CSMT_ASSERT(tc != nullptr);
   CSMT_ASSERT_MSG(threads_.size() < cfg_.threads,
                   "cluster hardware contexts exhausted");
+  tc->set_unblock_hook(&Cluster::unblock_hook, this);
   ThreadSlot slot;
   slot.tc = tc;
   slot.rob.init(cfg_.rob_entries);
@@ -70,18 +72,21 @@ bool Cluster::has_free_context() const {
   return bound < cfg_.threads;
 }
 
-void Cluster::freeze_context(unsigned slot) {
+void Cluster::freeze_context(unsigned slot, Cycle now) {
+  ensure_awake(now);
   CSMT_ASSERT(slot < threads_.size() && threads_[slot].tc);
   threads_[slot].frozen = true;
   active_ = true;  // the fetch fence changes next_event's answer
 }
 
 exec::ThreadContext* Cluster::detach_context(unsigned slot, Cycle now) {
+  ensure_awake(now);
   CSMT_ASSERT(slot < threads_.size());
   ThreadSlot& t = threads_[slot];
   CSMT_ASSERT_MSG(t.tc && t.window_count == 0,
                   "detach requires a bound, drained context");
   exec::ThreadContext* tc = t.tc;
+  tc->set_unblock_hook(nullptr, nullptr);
   if (trace_) {
     if (t.obs_state != kHalt && now > t.obs_since) {
       trace_->complete(t.obs_track, thread_state_name(t.obs_state),
@@ -107,7 +112,9 @@ exec::ThreadContext* Cluster::detach_context(unsigned slot, Cycle now) {
 
 unsigned Cluster::attach_migrated(exec::ThreadContext* tc, bool in_sync,
                                   Cycle now, Cycle wake_at) {
+  ensure_awake(now);
   CSMT_ASSERT(tc != nullptr);
+  tc->set_unblock_hook(&Cluster::unblock_hook, this);
   unsigned slot = static_cast<unsigned>(threads_.size());
   for (unsigned i = 0; i < threads_.size(); ++i) {
     if (!threads_[i].tc) {
@@ -384,6 +391,58 @@ void Cluster::quiet_tick(Cycle now) {
   if (stalled) ++stats_.dispatch_stall_cycles;
   ++stats_.cycles;
   if (trace_ && stalled) trace_->instant(track_, "dispatch_stall", now);
+}
+
+bool Cluster::try_sleep(Cycle now) {
+  // Probe deferral mirrors the machine-level scheduler (DESIGN.md §9): a
+  // failed probe (horizon at now+1) doubles the number of inactive ticks
+  // the next probe waits for, so busy clusters with 1-cycle gaps do not pay
+  // the O(window) horizon walk every gap.
+  if (++idle_streak_ <= sleep_defer_) return false;
+  idle_streak_ = 0;
+  const Cycle h = next_event(now);
+  if (h <= now + 1) {
+    sleep_defer_ = sleep_defer_ == 0 ? 1 : std::min<Cycle>(sleep_defer_ * 2, 64);
+    return false;
+  }
+  // next_event primed the quiet plan for (now, h); it stays valid for the
+  // whole sleep because nothing internal can change and every external
+  // input (sync unblock, freeze/detach/attach) wakes us first.
+  sleep_defer_ = 0;
+  asleep_ = true;
+  wake_queued_ = false;
+  sleep_until_ = h;
+  quiet_from_ = now + 1;
+  return true;
+}
+
+void Cluster::settle(Cycle upto) {
+  // Per-cycle replay, never closed form: the slot accumulators are doubles
+  // and bit-identity requires the exact same sequence of additions the
+  // per-cycle kernel performs.
+  while (quiet_from_ < upto) {
+    quiet_tick(quiet_from_);
+    ++quiet_from_;
+    ++lazy_replayed_;
+  }
+}
+
+void Cluster::wake(Cycle now) {
+  settle(now);
+  asleep_ = false;
+  wake_queued_ = false;
+  idle_streak_ = 0;
+}
+
+void Cluster::ensure_awake(Cycle now) {
+  if (!asleep_) return;
+  wake(now);
+  if (chip_) chip_->notify_woken(this);
+}
+
+void Cluster::unblock_hook(void* ctx, exec::ThreadContext* /*tc*/) {
+  Cluster* c = static_cast<Cluster*>(ctx);
+  if (c->asleep_ && c->chip_) c->chip_->signal_wake(c);
 }
 
 std::uint8_t Cluster::thread_state(const ThreadSlot& t, Cycle now) const {
@@ -836,6 +895,9 @@ void Cluster::serialize(ckpt::Serializer& s,
         const std::uint64_t tid = tid1 - 1;
         if (tid < by_tid.size() && by_tid[static_cast<std::size_t>(tid)]) {
           t.tc = by_tid[static_cast<std::size_t>(tid)];
+          // Rebind the unblock hook to the restored layout (the startup
+          // binding from place_initial may point at a different cluster).
+          t.tc->set_unblock_hook(&Cluster::unblock_hook, this);
         } else {
           s.fail("cluster context bound to an unknown thread");
         }

@@ -30,6 +30,8 @@ class Serializer;
 
 namespace csmt::core {
 
+class Chip;
+
 inline constexpr std::uint16_t kNoUop = 0xFFFF;
 
 /// A source dependence captured at dispatch: either a reference to the
@@ -173,8 +175,8 @@ class Cluster {
   bool has_free_context() const;
 
   /// Stops fetch for context `slot`; issue/commit continue so the window
-  /// drains on its own.
-  void freeze_context(unsigned slot);
+  /// drains on its own. `now` settles any pending lazy replay first.
+  void freeze_context(unsigned slot, Cycle now);
   /// Unbinds a drained context and returns its thread; the slot's rename
   /// state is flushed and the slot becomes reusable.
   exec::ThreadContext* detach_context(unsigned slot, Cycle now);
@@ -214,6 +216,39 @@ class Cluster {
   /// True when every attached thread has halted and the pipeline is empty.
   bool finished() const;
 
+  // --- component-granular quiescence (DESIGN.md §14) ---
+  //
+  // A cluster whose horizon is beyond now+1 can go to sleep: the owning
+  // chip unlinks it from the per-chip active list and stops ticking it.
+  // While asleep the primed quiet plan stays valid (nothing internal can
+  // change, and the one external input — a sync unblock — wakes it through
+  // the ThreadContext unblock hook), so the skipped cycles are replayed
+  // per-cycle by settle() when the cluster next wakes or a stats consumer
+  // needs them. Sleep state is transient and never checkpointed: settle()
+  // runs before every save, and a restored cluster simply starts awake.
+
+  /// Binds the owning chip for wake notifications (called at chip setup).
+  void set_chip(Chip* chip) { chip_ = chip; }
+
+  /// Called by the chip after an inactive tick at `now`: probes the horizon
+  /// (with exponential deferral mirroring the machine-level probe backoff)
+  /// and falls asleep when it is beyond now+1. Returns true when asleep.
+  bool try_sleep(Cycle now);
+
+  /// Replays quiet-tick accounting for all skipped cycles < `upto`. Keeps
+  /// the cluster asleep; wake() is settle() plus rejoining the awake world.
+  void settle(Cycle upto);
+
+  /// Settles through `now` and marks the cluster awake. The caller (Chip)
+  /// relinks it into the active list.
+  void wake(Cycle now);
+
+  bool asleep() const { return asleep_; }
+  /// The horizon captured when the cluster fell asleep (valid while asleep).
+  Cycle sleep_until() const { return sleep_until_; }
+  /// Cycles this cluster skipped and lazily replayed (host observability).
+  std::uint64_t lazy_replayed() const { return lazy_replayed_; }
+
   /// Threads currently "running" for the Figure 6 characterization:
   /// attached, not halted, and not inside a sync region.
   unsigned running_threads() const;
@@ -245,6 +280,8 @@ class Cluster {
   }
 
  private:
+  friend class Chip;  ///< active-list linkage + sleep bookkeeping
+
   struct RenameEntry {
     std::uint16_t producer = kNoUop;
     std::uint32_t gen = 0;
@@ -305,6 +342,15 @@ class Cluster {
   /// span, so quiet_tick() can replay them bit-identically.
   void prime_quiet_plan(Cycle now);
 
+  /// Settles and wakes a sleeping cluster before external mutation
+  /// (freeze/detach/attach); tells the chip so the active list stays
+  /// consistent. No-op while awake.
+  void ensure_awake(Cycle now);
+
+  /// ThreadContext unblock hook: an externally released thread wakes the
+  /// owning (possibly sleeping) cluster through the chip.
+  static void unblock_hook(void* ctx, exec::ThreadContext* tc);
+
   ClusterId id_;
   ClusterConfig cfg_;
   FetchPolicy policy_;
@@ -341,6 +387,19 @@ class Cluster {
   double quiet_delta_[2][kNumSlots] = {};  ///< [dispatch_stalled][slot]
   bool quiet_fallback_stall_ = false;      ///< fetch()'s chosen<0 stall scan
   std::vector<char> quiet_stall_if_selected_;  ///< per-thread RR stall check
+
+  // Cluster-level sleep state (DESIGN.md §14). All transient: none of it is
+  // checkpointed — settle() runs before every save and restored clusters
+  // start awake, which is stats-neutral because replay is exact.
+  Chip* chip_ = nullptr;          ///< wake notifications (not state)
+  Cluster* next_active_ = nullptr;  ///< chip's intrusive active list
+  bool asleep_ = false;
+  bool wake_queued_ = false;      ///< already on the chip's wake list
+  Cycle sleep_until_ = 0;         ///< horizon captured at sleep time
+  Cycle quiet_from_ = 0;          ///< next skipped cycle not yet replayed
+  Cycle idle_streak_ = 0;         ///< inactive ticks since last probe
+  Cycle sleep_defer_ = 0;         ///< probe backoff (mirrors kMaxDefer)
+  std::uint64_t lazy_replayed_ = 0;
 
   ClusterStats stats_;
 };

@@ -207,12 +207,12 @@ void ThreadContext::apply_deferred(const DeferredThreadOp& op) {
       // step() blocked this thread eagerly, so the last arriver (which the
       // eager kernel never blocks) must be unblocked here by hand.
       if (sync_->barrier_arrive(op.addr, this, op.operand)) {
-        sync_blocked_ = false;
+        set_sync_blocked(false);
       }
       break;
     case DeferredThreadOp::Kind::kLockAcq:
       mem_.amo_swap(op.addr, 1);
-      if (sync_->lock_acquire(op.addr, this)) sync_blocked_ = false;
+      if (sync_->lock_acquire(op.addr, this)) set_sync_blocked(false);
       break;
     case DeferredThreadOp::Kind::kLockRel:
       mem_.write(op.addr, 0);

@@ -39,7 +39,22 @@ class ThreadContext {
   /// The timing model suppresses fetch and charges the thread's slots to
   /// the sync hazard while this holds.
   bool sync_blocked() const { return sync_blocked_; }
-  void set_sync_blocked(bool b) { sync_blocked_ = b; }
+  void set_sync_blocked(bool b) {
+    const bool was = sync_blocked_;
+    sync_blocked_ = b;
+    if (was && !b && unblock_hook_) unblock_hook_(unblock_ctx_, this);
+  }
+
+  /// Unblock notification (DESIGN.md §14): a released thread is the one
+  /// *external* input a sleeping cluster cannot predict from its own state,
+  /// so the owning cluster registers a hook here and the false transition
+  /// of sync_blocked_ wakes it. The hook is a binding, not state — it is
+  /// (re)registered at attach/restore time and never checkpointed.
+  using UnblockHook = void (*)(void*, ThreadContext*);
+  void set_unblock_hook(UnblockHook hook, void* ctx) {
+    unblock_hook_ = hook;
+    unblock_ctx_ = ctx;
+  }
 
   /// Address-space tag applied by the *timing* model only (multiprogrammed
   /// runs give each job a disjoint simulated physical address space so
@@ -111,6 +126,8 @@ class ThreadContext {
   SyncManager* sync_;
   DeferQueue* defer_ = nullptr;  ///< not state: rebound at construction
   bool defer_break_ = false;     ///< valid only until the next step()
+  UnblockHook unblock_hook_ = nullptr;  ///< not state: rebound at attach
+  void* unblock_ctx_ = nullptr;
   std::uint64_t pc_ = 0;
   std::uint64_t instret_ = 0;
   bool done_ = false;

@@ -70,6 +70,19 @@ class PagedMemory {
   /// Number of materialized pages (for tests / footprint reporting).
   std::size_t resident_pages() const { return pages_.size(); }
 
+  /// Frees every materialized page, the concurrent-index tables, and the
+  /// map's bucket array, returning the object to its fresh sequential
+  /// state. Sweep points call this once their run has completed and been
+  /// validated, so a grid's peak footprint tracks one point's address
+  /// space, not the sum of every point the process has run. Not safe while
+  /// worker lanes are live.
+  void release() {
+    index_.store(nullptr, std::memory_order_release);
+    indexes_.clear();
+    indexes_.shrink_to_fit();
+    std::unordered_map<Addr, std::unique_ptr<Page>>().swap(pages_);
+  }
+
   /// Arms the lock-free page index for the parallel kernel (DESIGN.md §13):
   /// after this, lookups probe an open-addressed atomic table instead of
   /// the unordered_map (whose buckets are not safe to read while another

@@ -105,6 +105,10 @@ struct SimSpeed {
   /// but an execution-strategy detail rather than a machine statistic, so
   /// it lives here and not in RunStats.
   std::uint64_t quiet_cycles = 0;
+  /// Per-cluster cycles skipped while the machine was busy and replayed
+  /// lazily at wake time (component-granular quiescence, DESIGN.md §14).
+  /// Counts cluster-cycles, so it can exceed sim_cycles on wide machines.
+  std::uint64_t cluster_quiet_cycles = 0;
   std::uint64_t committed = 0;  ///< useful + sync instructions
   /// Worker lanes the parallel kernel ran on (0 = sequential kernel,
   /// DESIGN.md §13). Execution-strategy metadata like quiet_cycles.

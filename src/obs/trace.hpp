@@ -168,6 +168,11 @@ class TraceShard final : public TraceSink {
     buf_.clear();
   }
 
+  /// Releases the buffer's capacity. End-of-run only: the shard outlives
+  /// the run inside the Machine, and a busy traced run's high-water event
+  /// buffer would otherwise stay resident until the machine dies.
+  void shrink() { buf_.shrink_to_fit(); }
+
  private:
   TraceSink& parent_;
   std::vector<TraceEvent> buf_;

@@ -104,6 +104,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.sim_speed.measured = true;
   result.sim_speed.sim_cycles = result.stats.cycles;
   result.sim_speed.quiet_cycles = machine.quiet_cycles();
+  result.sim_speed.cluster_quiet_cycles = machine.cluster_quiet_cycles();
   result.sim_speed.committed =
       result.stats.committed_useful + result.stats.committed_sync;
   // Record the kernel actually used: lanes clamp to the chip count, and a
@@ -125,6 +126,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.validated =
       !result.stats.timed_out &&
       wl->validate(memory, build, mc.total_threads(), spec.scale);
+
+  // The point is done with its address space: hand the pages back now so a
+  // sweep's peak RSS tracks one point, not the whole grid (DESIGN.md §14).
+  memory.release();
 
   publish_run_totals(result);
   if (probe) {

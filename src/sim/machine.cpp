@@ -72,6 +72,13 @@ Machine::Machine(const MachineConfig& cfg) : cfg_(cfg) {
     for (auto& chip : chips_) raw.push_back(chip.get());
     pool_ = std::make_unique<ChipTickPool>(std::move(raw), lanes);
   }
+  // Cluster-level sleep (DESIGN.md §14): off under --no-skip (ground-truth
+  // per-cycle kernel) and under tracing, where wake-time replay would emit
+  // events out of timestamp order. Skip decisions are per-chip and
+  // observation-driven, so they are identical under both kernels and any
+  // lane striping.
+  const bool lazy = !cfg_.no_skip && cfg_.trace == nullptr;
+  for (auto& chip : chips_) chip->set_lazy(lazy);
 }
 
 Machine::~Machine() = default;
@@ -105,8 +112,12 @@ void Machine::trace_name_sync_tracks(const exec::ThreadGroup& group) {
 
 void Machine::trace_flush(Cycle end) {
   for (auto& chip : chips_) chip->trace_flush(end);
-  // End-of-run slice closures land in the shards; push them to the parent.
-  for (auto& shard : shards_) shard->flush();
+  // End-of-run slice closures land in the shards; push them to the parent,
+  // then drop the buffers — the machine (and its shards) outlives the run.
+  for (auto& shard : shards_) {
+    shard->flush();
+    shard->shrink();
+  }
 }
 
 void Machine::ckpt_shape(ckpt::Serializer& s, const exec::ThreadGroup& group) {
@@ -421,10 +432,16 @@ bool Machine::tick_chips(Cycle now) {
   //      shared functional state.
   // Deferred work only exists when some cluster was active this cycle, so
   // `active` already covers it and the skip path can never skip past it.
+  // The O(1) has_deferred gates keep a mostly-idle chip's barrier cost at
+  // two flag reads instead of two calls per cycle (DESIGN.md §14).
   for (auto& shard : shards_) shard->flush();
   if (deferred_mode_) {
-    for (auto& chip : chips_) chip->memsys().resolve_deferred();
-    for (auto& chip : chips_) chip->drain_exec();
+    for (auto& chip : chips_) {
+      if (chip->memsys().has_deferred()) chip->memsys().resolve_deferred();
+    }
+    for (auto& chip : chips_) {
+      if (chip->has_deferred_exec()) chip->drain_exec();
+    }
   }
   return active;
 }
@@ -442,6 +459,10 @@ Cycle Machine::next_event(Cycle now) {
     if (c < ev) ev = c;
   }
   return ev;
+}
+
+void Machine::settle_chips(Cycle upto) {
+  for (auto& chip : chips_) chip->settle(upto);
 }
 
 void Machine::quiet_tick_chips(Cycle now) {

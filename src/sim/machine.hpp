@@ -200,6 +200,15 @@ class Machine {
   /// feeds SimSpeed, never RunStats.
   Cycle quiet_cycles() const { return quiet_cycles_; }
 
+  /// Per-cluster cycles skipped while the machine was busy and replayed
+  /// lazily at wake time (DESIGN.md §14; 0 with no_skip or tracing).
+  /// Observability only — it feeds SimSpeed, never RunStats.
+  std::uint64_t cluster_quiet_cycles() const {
+    std::uint64_t n = 0;
+    for (const auto& chip : chips_) n += chip->lazy_replayed();
+    return n;
+  }
+
   /// Cycle the last run() resumed from (0 = started fresh: the first
   /// snapshot is taken at cycle ckpt_interval >= 1, so 0 is unambiguous).
   Cycle resumed_from_cycle() const { return resumed_from_cycle_; }
@@ -231,6 +240,10 @@ class Machine {
   /// the cycle of the tick just executed.
   Cycle next_event(Cycle now);
   void quiet_tick_chips(Cycle now);
+  /// Replays sleeping clusters' skipped cycles < `upto` (DESIGN.md §14);
+  /// required before any external read of cluster stats (ckpt saves, epoch
+  /// closes, end of run).
+  void settle_chips(Cycle upto);
 
   /// Cumulative machine-wide counters for the epoch sampler.
   obs::EpochCounters snapshot_counters() const;

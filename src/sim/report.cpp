@@ -272,6 +272,7 @@ json::Value to_json(const ExperimentResult& r) {
     speed["wall_seconds"] = r.sim_speed.wall_seconds;
     speed["sim_cycles"] = r.sim_speed.sim_cycles;
     speed["quiet_cycles"] = r.sim_speed.quiet_cycles;
+    speed["cluster_quiet_cycles"] = r.sim_speed.cluster_quiet_cycles;
     speed["committed"] = r.sim_speed.committed;
     speed["parallel_chips"] = std::uint64_t{r.sim_speed.parallel_chips};
     speed["host_threads"] = std::uint64_t{r.sim_speed.host_threads};
@@ -461,6 +462,9 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
     // Absent in artifacts written before the quiescence kernel: keep 0.
     if (const json::Value* c = speed->find("quiet_cycles"))
       r.sim_speed.quiet_cycles = c->as_u64();
+    // Absent before component-granular quiescence (DESIGN.md §14): keep 0.
+    if (const json::Value* c = speed->find("cluster_quiet_cycles"))
+      r.sim_speed.cluster_quiet_cycles = c->as_u64();
     if (const json::Value* c = speed->find("committed"))
       r.sim_speed.committed = c->as_u64();
     // Absent in artifacts written before the parallel kernel: keep 0.

@@ -57,6 +57,10 @@ Scheduler::Result Scheduler::run(
     // machine state here is exactly the loop-header state, so a restored
     // run re-enters this loop and replays the identical suffix.
     if (now_ >= next_ckpt_) {
+      // Sleeping clusters settle (replay their skipped cycles) before the
+      // snapshot so the saved stats match the per-cycle kernel's; sleep
+      // itself is transient and not captured (DESIGN.md §14).
+      m_.settle_chips(now_);
       save_fn_(now_);
       while (next_ckpt_ <= now_) next_ckpt_ += ckpt_interval_;
     }
@@ -78,7 +82,12 @@ Scheduler::Result Scheduler::run(
     ++now_;
     if (sampler_.enabled()) {
       sampler_.note_running(running);
-      if (sampler_.due(now_)) sampler_.close(now_, m_.snapshot_counters());
+      if (sampler_.due(now_)) {
+        // Epoch samples read cluster slot stats: settle sleepers first so
+        // the sample matches the per-cycle kernel's bit for bit.
+        m_.settle_chips(now_);
+        sampler_.close(now_, m_.snapshot_counters());
+      }
     }
     if (after_tick) after_tick(now_);
 
@@ -125,10 +134,17 @@ Scheduler::Result Scheduler::run(
       ++now_;
       if (sampler_.enabled()) {
         sampler_.note_running(running);
-        if (sampler_.due(now_)) sampler_.close(now_, m_.snapshot_counters());
+        if (sampler_.due(now_)) {
+          m_.settle_chips(now_);
+          sampler_.close(now_, m_.snapshot_counters());
+        }
       }
     }
   }
+  // Clusters still asleep at exit (deadlock clamp, or sleeping through the
+  // final commit elsewhere) replay their remaining span before the caller
+  // reads any stats.
+  m_.settle_chips(now_);
   out.cycles = now_;
   out.running_accum = running_accum_;
   return out;

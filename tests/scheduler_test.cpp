@@ -6,6 +6,7 @@
 // full serialized precision.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -187,6 +188,103 @@ TEST(KernelEquivalence, RunJobsTracesRunningThreadsLikeRun) {
   const auto from_jobs = counter_lines(jobs_path, "running_threads");
   EXPECT_FALSE(from_run.empty());
   EXPECT_EQ(from_run, from_jobs);
+}
+
+TEST(KernelEquivalence, AsymmetricMixSleepsClustersBitIdentically) {
+  // The component-granular quiescence target (DESIGN.md §14): one
+  // long-running thread keeps the machine busy while the other seven —
+  // each alone on its own FA2 cluster across four chips — sit blocked at a
+  // barrier. Machine-level skip never fires on such a span (some cluster is
+  // always active); per-cluster sleep must, and every artifact must stay
+  // bit-identical across {skip, no-skip} x {sequential, parallel kernel}
+  // and through a kill-and-resume.
+  constexpr unsigned kChips = 4;
+  MachineConfig base;
+  base.arch = core::arch_preset(core::ArchKind::kFa2);
+  base.chips = kChips;
+  base.metrics_interval = 128;
+
+  ProgramBuilder b("asym");
+  isa::Reg bar = b.ireg(), n = b.ireg(), r = b.ireg(), i = b.ireg(),
+           cnt = b.ireg();
+  const isa::Label join = b.new_label();
+  b.li(bar, 64);
+  b.li(n, base.total_threads());
+  b.bne(b.tid(), b.zero(), join);  // tids 1..7: straight to the barrier
+  b.li(r, 1);
+  b.li(cnt, 600);
+  b.for_range(i, 0, cnt, 1, [&] { b.add(r, r, r); });
+  b.bind(join);
+  b.barrier(bar, n);
+  b.halt();
+  const isa::Program p = b.take();
+
+  auto run_once = [&](bool no_skip, unsigned lanes, Cycle max_cycles,
+                      Cycle ckpt_interval, const std::string& ckpt_path,
+                      Cycle* resumed = nullptr, std::uint64_t* lazy = nullptr) {
+    MachineConfig mc = base;
+    mc.no_skip = no_skip;
+    mc.parallel_chips = lanes;
+    if (max_cycles) mc.max_cycles = max_cycles;
+    mc.ckpt_interval = ckpt_interval;
+    mc.ckpt_path = ckpt_path;
+    mc.ckpt_spec_hash = 0x5eed;
+    Machine machine(mc);
+    mem::PagedMemory memory;
+    const RunStats out =
+        machine.run(Mix::single(p, memory, 0, mc.total_threads())).combined;
+    if (resumed) *resumed = machine.resumed_from_cycle();
+    if (lazy) *lazy = machine.cluster_quiet_cycles();
+    return out;
+  };
+
+  std::uint64_t lazy = 0;
+  const RunStats ref = run_once(false, 0, 0, 0, "", nullptr, &lazy);
+  // The blocked clusters actually slept while the machine stayed busy.
+  EXPECT_GT(lazy, 0u);
+  const RunStats noskip = run_once(true, 0, 0, 0, "");
+  const RunStats par = run_once(false, kChips, 0, 0, "");
+  const RunStats par_noskip = run_once(true, kChips, 0, 0, "");
+  EXPECT_EQ(stats_json(ref), stats_json(noskip));
+  EXPECT_EQ(stats_json(ref), stats_json(par));
+  EXPECT_EQ(stats_json(ref), stats_json(par_noskip));
+
+  // Kill-and-resume: a run killed mid-span (clusters asleep at the clamp)
+  // must settle into its snapshots, resume cold, and still finish with the
+  // uninterrupted run's artifacts — on both kernels.
+  ASSERT_GT(ref.cycles, 128u);
+  const std::string ckpt = ::testing::TempDir() + "csmt_asym_ckpt.bin";
+  for (const unsigned lanes : {0u, kChips}) {
+    std::remove(ckpt.c_str());
+    run_once(false, lanes, ref.cycles / 2, 64, ckpt);  // killed: times out
+    Cycle resumed = 0;
+    const RunStats done = run_once(false, lanes, 0, 64, ckpt, &resumed);
+    EXPECT_GT(resumed, 0u);
+    EXPECT_EQ(stats_json(ref), stats_json(done)) << "lanes=" << lanes;
+  }
+
+  // Trace leg: tracing disables lazy sleep (wake-time replay would emit
+  // events out of timestamp order), and the counter series must match the
+  // per-cycle kernel's exactly.
+  auto traced = [&](bool no_skip, const std::string& path) {
+    obs::ChromeTraceWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    MachineConfig mc = base;
+    mc.no_skip = no_skip;
+    mc.trace = &writer;
+    Machine machine(mc);
+    mem::PagedMemory memory;
+    machine.run(Mix::single(p, memory, 0, mc.total_threads()));
+    writer.finish();
+  };
+  const std::string skip_path = ::testing::TempDir() + "csmt_asym_skip.json";
+  const std::string slow_path = ::testing::TempDir() + "csmt_asym_slow.json";
+  traced(false, skip_path);
+  traced(true, slow_path);
+  const auto from_skip = counter_lines(skip_path, "running_threads");
+  const auto from_slow = counter_lines(slow_path, "running_threads");
+  EXPECT_FALSE(from_skip.empty());
+  EXPECT_EQ(from_skip, from_slow);
 }
 
 TEST(Scheduler, QuietCyclesEngageOnSyncHeavyPoints) {

@@ -35,7 +35,7 @@ namespace csmt::ckpt {
 /// v2: dynamic-allocation PR — cluster context bindings travel as data, the
 /// scheduler serializes its allocation-epoch horizon, and dynamic runs
 /// append an "alloc" section (controller + policy state).
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// File magic: the first 8 bytes of every checkpoint.
 inline constexpr char kMagic[8] = {'C', 'S', 'M', 'T', 'C', 'K', 'P', 'T'};

@@ -1,0 +1,389 @@
+// csmt-svc — the distributed sweep service CLI (DESIGN.md §15).
+//
+//   csmt-svc serve   run a coordinator (and optionally spawn local workers)
+//   csmt-svc work    run one worker against a coordinator
+//   csmt-svc submit  submit a grid, wait for it, print/write results JSON
+//
+// Flags (both "--flag value" and "--flag=value"):
+//   serve:  --port P (env CSMT_SVC_PORT; 0 = ephemeral), --cache-dir DIR
+//           (env CSMT_CACHE_DIR), --ckpt-interval N, --lease-ttl-ms N,
+//           --workers N (spawn N local `csmt-svc work` children)
+//   work:   --coordinator HOST:PORT (env CSMT_COORDINATOR), --name NAME,
+//           --max-leases N, --cache-dir DIR (env CSMT_CACHE_DIR)
+//   submit: --coordinator HOST:PORT (env CSMT_COORDINATOR),
+//           --workloads A,B (required), --archs X,Y (required),
+//           --chips 1,4 (default 1), --scales N,M (default 3),
+//           --metrics-interval N, --json PATH (default: stdout),
+//           --local [--cache-dir DIR] (run the grid in-process instead
+//           of through a coordinator — the single-process reference)
+//
+// submit's output is sim::render_json over the job's results in submission
+// order — byte-identical (modulo host-time fields) to a local SweepRunner
+// run of the same grid; `--local` IS that SweepRunner run, so the two modes
+// are directly diffable.
+#include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "cli/parse.hpp"
+#include "core/arch_config.hpp"
+#include "net/http.hpp"
+#include "sim/report.hpp"
+#include "svc/coordinator.hpp"
+#include "svc/wire.hpp"
+#include "svc/worker.hpp"
+#include "sweep/sweep.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+extern char** environ;
+#endif
+
+namespace {
+
+using namespace csmt;
+
+volatile std::sig_atomic_t g_signaled = 0;
+void on_signal(int) { g_signaled = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s serve  [--port P] [--cache-dir DIR] [--ckpt-interval N]\n"
+      "                 [--lease-ttl-ms N] [--workers N]\n"
+      "       %s work   [--coordinator HOST:PORT] [--name NAME]\n"
+      "                 [--max-leases N] [--cache-dir DIR]\n"
+      "       %s submit [--coordinator HOST:PORT] --workloads A,B\n"
+      "                 --archs X,Y [--chips 1,4] [--scales N] \n"
+      "                 [--metrics-interval N] [--json PATH]\n"
+      "                 [--local [--cache-dir DIR]]\n"
+      "  (env: CSMT_SVC_PORT, CSMT_CACHE_DIR, CSMT_COORDINATOR)\n",
+      argv0, argv0, argv0);
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<unsigned> parse_unsigned_csv(const std::string& text,
+                                         const char* flag) {
+  std::vector<unsigned> out;
+  for (const std::string& s : split_csv(text))
+    out.push_back(static_cast<unsigned>(
+        cli::flag_u64(s.c_str(), flag, 1, "comma-separated integers >= 1")));
+  return out;
+}
+
+/// --coordinator / CSMT_COORDINATOR; exits 2 when absent or malformed.
+std::pair<std::string, std::uint16_t> require_coordinator(
+    const std::string& flag_text) {
+  const std::string text =
+      !flag_text.empty() ? flag_text : cli::env_string("CSMT_COORDINATOR");
+  if (text.empty()) {
+    std::fprintf(stderr,
+                 "csmt-svc: no coordinator (want --coordinator HOST:PORT or "
+                 "CSMT_COORDINATOR)\n");
+    std::exit(2);
+  }
+  const auto hp = net::parse_hostport(text);
+  if (!hp) {
+    std::fprintf(stderr, "csmt-svc: malformed coordinator '%s' (want "
+                 "HOST:PORT)\n", text.c_str());
+    std::exit(2);
+  }
+  return *hp;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+/// Path of the running binary, for self-spawning workers.
+std::string self_exe(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+#endif
+  return argv0;
+}
+#endif
+
+int cmd_serve(int argc, char** argv) {
+  svc::CoordinatorOptions opt;
+  opt.port = static_cast<std::uint16_t>(
+      cli::env_u64("CSMT_SVC_PORT", 0, 0, "a port, 0 = ephemeral"));
+  opt.cache_dir = cli::env_string("CSMT_CACHE_DIR");
+  unsigned workers = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (const char* v = cli::flag_value(argc, argv, i, "--port")) {
+      opt.port = static_cast<std::uint16_t>(
+          cli::flag_u64(v, "--port", 0, "a port, 0 = ephemeral"));
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--cache-dir")) {
+      opt.cache_dir = v;
+    } else if (const char* v =
+                   cli::flag_value(argc, argv, i, "--ckpt-interval")) {
+      opt.ckpt_interval = cli::flag_u64(v, "--ckpt-interval", 1,
+                                        "an integer >= 1");
+    } else if (const char* v =
+                   cli::flag_value(argc, argv, i, "--lease-ttl-ms")) {
+      opt.lease_ttl_ms = static_cast<std::int64_t>(
+          cli::flag_u64(v, "--lease-ttl-ms", 100, "milliseconds >= 100"));
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--workers")) {
+      workers = static_cast<unsigned>(
+          cli::flag_u64(v, "--workers", 0, "a worker count"));
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  svc::Coordinator coord(opt);
+  if (!coord.start()) return 1;
+  std::printf("csmt-svc: coordinator listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(coord.port()));
+  if (!opt.cache_dir.empty())
+    std::printf("csmt-svc: result cache at %s\n", opt.cache_dir.c_str());
+  std::fflush(stdout);
+
+  std::vector<long long> children;
+#if defined(__unix__) || defined(__APPLE__)
+  if (workers > 0) {
+    const std::string exe = self_exe(argv[0]);
+    const std::string coordinator =
+        "127.0.0.1:" + std::to_string(coord.port());
+    for (unsigned w = 0; w < workers; ++w) {
+      const std::string name = "local-" + std::to_string(w);
+      std::vector<char*> child_argv;
+      auto arg = [&child_argv](const std::string& s) {
+        child_argv.push_back(const_cast<char*>(s.c_str()));
+      };
+      const std::string a_coord = "--coordinator=" + coordinator;
+      const std::string a_name = "--name=" + name;
+      const std::string a_cache = "--cache-dir=" + opt.cache_dir;
+      arg(exe);
+      arg("work");
+      arg(a_coord);
+      arg(a_name);
+      if (!opt.cache_dir.empty()) arg(a_cache);
+      child_argv.push_back(nullptr);
+      pid_t pid = -1;
+      const int rc = ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr,
+                                   child_argv.data(), environ);
+      if (rc != 0) {
+        std::fprintf(stderr, "csmt-svc: failed to spawn worker %u: %s\n", w,
+                     std::strerror(rc));
+        continue;
+      }
+      children.push_back(pid);
+    }
+    std::printf("csmt-svc: spawned %zu local worker(s)\n", children.size());
+    std::fflush(stdout);
+  }
+#else
+  if (workers > 0)
+    std::fprintf(stderr,
+                 "csmt-svc: --workers needs POSIX spawn; run workers "
+                 "manually\n");
+#endif
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_signaled)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("csmt-svc: shutting down\n");
+  std::fflush(stdout);
+  coord.request_shutdown();
+#if defined(__unix__) || defined(__APPLE__)
+  for (const long long pid : children) {
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(pid), &status, 0);
+  }
+#endif
+  coord.stop();
+  return 0;
+}
+
+int cmd_work(int argc, char** argv) {
+  svc::WorkerOptions opt;
+  opt.sweep.cache_dir = cli::env_string("CSMT_CACHE_DIR");
+  std::string coordinator;
+  for (int i = 2; i < argc; ++i) {
+    if (const char* v = cli::flag_value(argc, argv, i, "--coordinator")) {
+      coordinator = v;
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--name")) {
+      opt.name = v;
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--max-leases")) {
+      opt.max_leases = cli::flag_u64(v, "--max-leases", 1, "an integer >= 1");
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--cache-dir")) {
+      opt.sweep.cache_dir = v;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  std::tie(opt.host, opt.port) = require_coordinator(coordinator);
+
+  svc::Worker worker(opt);
+  const svc::WorkerReport report = worker.run();
+  std::fprintf(stderr,
+               "csmt-svc: worker %s done (completed=%llu lost=%llu%s)\n",
+               worker.options().name.c_str(),
+               static_cast<unsigned long long>(report.completed),
+               static_cast<unsigned long long>(report.lost),
+               report.unreachable ? ", coordinator unreachable" : "");
+  return report.unreachable ? 1 : 0;
+}
+
+/// Writes submit's rendered results to `json_path` (stdout when empty).
+int write_results(const std::string& out, const std::string& json_path) {
+  if (json_path.empty()) {
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream f(json_path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "csmt-svc: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  f << out;
+  std::fprintf(stderr, "csmt-svc: results written to %s\n", json_path.c_str());
+  return 0;
+}
+
+int cmd_submit(int argc, char** argv) {
+  std::string coordinator, json_path;
+  bool local = false;
+  sweep::SweepOptions local_opt;
+  local_opt.cache_dir = cli::env_string("CSMT_CACHE_DIR");
+  local_opt.progress = false;
+  sweep::SweepSpec grid;
+  grid.chips = {1};
+  grid.scales = {3};
+  for (int i = 2; i < argc; ++i) {
+    if (const char* v = cli::flag_value(argc, argv, i, "--coordinator")) {
+      coordinator = v;
+    } else if (std::strcmp(argv[i], "--local") == 0) {
+      local = true;
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--cache-dir")) {
+      local_opt.cache_dir = v;
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--workloads")) {
+      grid.workloads = split_csv(v);
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--archs")) {
+      for (std::string name : split_csv(v)) {
+        // Table 2 names are uppercase ("SMT2"); accept any casing here.
+        for (char& c : name) c = static_cast<char>(std::toupper(c));
+        const auto kind = core::arch_from_name(name);
+        if (!kind) {
+          std::fprintf(stderr, "csmt-svc: unknown arch '%s'\n", name.c_str());
+          std::exit(2);
+        }
+        grid.archs.push_back(*kind);
+      }
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--chips")) {
+      grid.chips = parse_unsigned_csv(v, "--chips");
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--scales")) {
+      grid.scales = parse_unsigned_csv(v, "--scales");
+    } else if (const char* v =
+                   cli::flag_value(argc, argv, i, "--metrics-interval")) {
+      grid.metrics_interval =
+          cli::flag_u64(v, "--metrics-interval", 0, "a cycle count");
+    } else if (const char* v = cli::flag_value(argc, argv, i, "--json")) {
+      json_path = v;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (grid.workloads.empty() || grid.archs.empty()) {
+    std::fprintf(stderr,
+                 "csmt-svc: submit needs --workloads and --archs\n");
+    std::exit(2);
+  }
+
+  if (local) {
+    // The single-process reference: the same grid through SweepRunner,
+    // rendered by the same renderer — what a distributed run must match.
+    sweep::SweepRunner runner(local_opt);
+    const auto results = runner.run(grid.expand());
+    return write_results(sim::render_json(results), json_path);
+  }
+  const auto [host, port] = require_coordinator(coordinator);
+
+  svc::SubmitRequest req;
+  req.points = grid.expand();
+  const auto res = net::http_request(host, port, "POST", "/submit",
+                                     req.to_json().dump());
+  if (!res || res->status != 200) {
+    std::fprintf(stderr, "csmt-svc: submit to %s:%u failed%s\n", host.c_str(),
+                 static_cast<unsigned>(port),
+                 res ? (" (" + res->body + ")").c_str() : " (unreachable)");
+    return 1;
+  }
+  const auto body = json::Value::parse(res->body);
+  const auto sub = body ? svc::SubmitResponse::from_json(*body) : std::nullopt;
+  if (!sub) {
+    std::fprintf(stderr, "csmt-svc: malformed submit response\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "csmt-svc: job %llu submitted (%llu point(s), %llu cached, "
+               "%llu deduped)\n",
+               static_cast<unsigned long long>(sub->job),
+               static_cast<unsigned long long>(sub->total),
+               static_cast<unsigned long long>(sub->cached),
+               static_cast<unsigned long long>(sub->deduped));
+
+  const std::string path = "/job?id=" + std::to_string(sub->job);
+  std::uint64_t last_done = ~0ull;
+  for (;;) {
+    const auto poll = net::http_request(host, port, "GET", path);
+    if (!poll || poll->status != 200) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      continue;
+    }
+    const auto doc = json::Value::parse(poll->body);
+    const auto status = doc ? svc::JobStatus::from_json(*doc) : std::nullopt;
+    if (!status) {
+      std::fprintf(stderr, "csmt-svc: malformed job status\n");
+      return 1;
+    }
+    if (status->done != last_done) {
+      last_done = status->done;
+      std::fprintf(stderr, "csmt-svc: %llu/%llu done\n",
+                   static_cast<unsigned long long>(status->done),
+                   static_cast<unsigned long long>(status->total));
+    }
+    if (status->complete)
+      return write_results(sim::render_json(status->results), json_path);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
+  if (std::strcmp(argv[1], "work") == 0) return cmd_work(argc, argv);
+  if (std::strcmp(argv[1], "submit") == 0) return cmd_submit(argc, argv);
+  usage(argv[0]);
+}

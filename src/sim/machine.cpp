@@ -184,6 +184,12 @@ void Machine::ckpt_io(ckpt::Serializer& s, exec::ThreadGroup& group,
     s.begin_section("dash");
     dash_->serialize(s);
     s.end_section();
+  } else {
+    // Low-end machine: the local memory controller's occupancy horizon is
+    // in-flight timing state, exactly like the dash's mem_busy_ above.
+    s.begin_section("membackend");
+    local_backend_->serialize(s);
+    s.end_section();
   }
 
   // Last: the controller rebuilds thread locations from the cluster layouts
@@ -388,18 +394,6 @@ MultiRunStats Machine::run(const Mix& mix) {
   out.combined.epochs = sampler.take();
   out.combined.alloc = ctl.stats();
   return out;
-}
-
-RunStats Machine::run(const isa::Program& program, mem::PagedMemory& memory,
-                      Addr args_base) {
-  return run(Mix::single(program, memory, args_base, cfg_.total_threads()))
-      .combined;
-}
-
-MultiRunStats Machine::run_jobs(const std::vector<Job>& jobs) {
-  Mix mix;
-  mix.jobs = jobs;
-  return run(mix);
 }
 
 bool Machine::all_finished() const {

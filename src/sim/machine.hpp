@@ -182,22 +182,13 @@ class Machine {
   /// and sum to total_threads(). One Machine instance runs one mix.
   MultiRunStats run(const Mix& mix);
 
-  /// Deprecated single-program entry point: forwards to run(Mix::single).
-  [[deprecated("use run(const Mix&)")]]
-  RunStats run(const isa::Program& program, mem::PagedMemory& memory,
-               Addr args_base);
-
-  /// Deprecated multiprogrammed entry point: forwards to run(const Mix&).
-  [[deprecated("use run(const Mix&)")]]
-  MultiRunStats run_jobs(const std::vector<Job>& jobs);
-
   const MachineConfig& config() const { return cfg_; }
   core::Chip& chip(unsigned i) { return *chips_[i]; }
   unsigned num_chips() const { return static_cast<unsigned>(chips_.size()); }
 
-  /// Simulated cycles the last run()/run_jobs() advanced through the
-  /// scheduler's quiet path (0 with no_skip). Observability only — it
-  /// feeds SimSpeed, never RunStats.
+  /// Simulated cycles the last run() advanced through the scheduler's
+  /// quiet path (0 with no_skip). Observability only — it feeds SimSpeed,
+  /// never RunStats.
   Cycle quiet_cycles() const { return quiet_cycles_; }
 
   /// Per-cluster cycles skipped while the machine was busy and replayed

@@ -156,22 +156,61 @@ std::string render_epoch_sparklines(
   return out;
 }
 
-json::Value to_json(const ExperimentResult& r) {
+json::Value spec_to_json(const ExperimentSpec& sp) {
   json::Value spec = json::Value::object();
-  spec["workload"] = r.spec.workload;
-  spec["arch"] = core::arch_name(r.spec.arch);
-  spec["chips"] = r.spec.chips;
-  spec["scale"] = r.spec.scale;
-  if (r.spec.fetch_policy)
-    spec["fetch_policy"] = core::fetch_policy_name(*r.spec.fetch_policy);
-  if (r.spec.window_size) spec["window_size"] = *r.spec.window_size;
-  if (r.spec.l1_private) spec["l1_private"] = *r.spec.l1_private;
-  if (r.spec.metrics_interval) spec["metrics_interval"] = r.spec.metrics_interval;
+  spec["workload"] = sp.workload;
+  spec["arch"] = core::arch_name(sp.arch);
+  spec["chips"] = sp.chips;
+  spec["scale"] = sp.scale;
+  if (sp.fetch_policy)
+    spec["fetch_policy"] = core::fetch_policy_name(*sp.fetch_policy);
+  if (sp.window_size) spec["window_size"] = *sp.window_size;
+  if (sp.l1_private) spec["l1_private"] = *sp.l1_private;
+  if (sp.metrics_interval) spec["metrics_interval"] = sp.metrics_interval;
   // Allocation fields appear only for dynamic policies, so artifacts of
   // `static` runs are byte-identical to pre-§11 ones.
-  if (r.spec.alloc_policy != alloc::PolicyKind::kStatic)
-    spec["alloc_policy"] = alloc::policy_name(r.spec.alloc_policy);
-  if (r.spec.alloc_epoch) spec["alloc_epoch"] = r.spec.alloc_epoch;
+  if (sp.alloc_policy != alloc::PolicyKind::kStatic)
+    spec["alloc_policy"] = alloc::policy_name(sp.alloc_policy);
+  if (sp.alloc_epoch) spec["alloc_epoch"] = sp.alloc_epoch;
+  return spec;
+}
+
+std::optional<ExperimentSpec> spec_from_json(const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  const json::Value* workload = v.find("workload");
+  const json::Value* arch = v.find("arch");
+  if (!workload || !workload->is_string() || !arch || !arch->is_string())
+    return std::nullopt;
+  const auto kind = core::arch_from_name(arch->as_string());
+  if (!kind) return std::nullopt;
+  ExperimentSpec spec;
+  spec.workload = workload->as_string();
+  spec.arch = *kind;
+  if (const json::Value* c = v.find("chips")) spec.chips = c->as_unsigned(1);
+  if (const json::Value* s = v.find("scale")) spec.scale = s->as_unsigned(3);
+  if (const json::Value* f = v.find("fetch_policy")) {
+    const auto policy = core::fetch_policy_from_name(f->as_string());
+    if (!policy) return std::nullopt;
+    spec.fetch_policy = *policy;
+  }
+  if (const json::Value* w = v.find("window_size"))
+    spec.window_size = w->as_unsigned();
+  if (const json::Value* p = v.find("l1_private"))
+    spec.l1_private = p->as_bool();
+  if (const json::Value* m = v.find("metrics_interval"))
+    spec.metrics_interval = m->as_u64();
+  if (const json::Value* a = v.find("alloc_policy")) {
+    const auto kind_a = alloc::policy_from_name(a->as_string());
+    if (!kind_a) return std::nullopt;
+    spec.alloc_policy = *kind_a;
+  }
+  if (const json::Value* a = v.find("alloc_epoch"))
+    spec.alloc_epoch = a->as_u64();
+  return spec;
+}
+
+json::Value to_json(const ExperimentResult& r) {
+  json::Value spec = spec_to_json(r.spec);
 
   const RunStats& s = r.stats;
   json::Value slots = json::Value::object();
@@ -306,36 +345,9 @@ std::optional<ExperimentResult> result_from_json(const json::Value& v) {
     return std::nullopt;
 
   ExperimentResult r;
-  const json::Value* workload = spec->find("workload");
-  const json::Value* arch = spec->find("arch");
-  if (!workload || !workload->is_string() || !arch || !arch->is_string())
-    return std::nullopt;
-  const auto kind = core::arch_from_name(arch->as_string());
-  if (!kind) return std::nullopt;
-  r.spec.workload = workload->as_string();
-  r.spec.arch = *kind;
-  if (const json::Value* c = spec->find("chips"))
-    r.spec.chips = c->as_unsigned(1);
-  if (const json::Value* s = spec->find("scale"))
-    r.spec.scale = s->as_unsigned(3);
-  if (const json::Value* f = spec->find("fetch_policy")) {
-    const auto policy = core::fetch_policy_from_name(f->as_string());
-    if (!policy) return std::nullopt;
-    r.spec.fetch_policy = *policy;
-  }
-  if (const json::Value* w = spec->find("window_size"))
-    r.spec.window_size = w->as_unsigned();
-  if (const json::Value* p = spec->find("l1_private"))
-    r.spec.l1_private = p->as_bool();
-  if (const json::Value* m = spec->find("metrics_interval"))
-    r.spec.metrics_interval = m->as_u64();
-  if (const json::Value* a = spec->find("alloc_policy")) {
-    const auto kind_a = alloc::policy_from_name(a->as_string());
-    if (!kind_a) return std::nullopt;
-    r.spec.alloc_policy = *kind_a;
-  }
-  if (const json::Value* a = spec->find("alloc_epoch"))
-    r.spec.alloc_epoch = a->as_u64();
+  const auto decoded_spec = spec_from_json(*spec);
+  if (!decoded_spec) return std::nullopt;
+  r.spec = *decoded_spec;
 
   RunStats& s = r.stats;
   const json::Value* cycles = stats->find("cycles");

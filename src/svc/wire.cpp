@@ -1,0 +1,232 @@
+#include "svc/wire.hpp"
+
+#include "sim/report.hpp"
+
+namespace csmt::svc {
+namespace {
+
+/// u64 array member ("leases": [1, 2, ...]); empty when absent.
+std::vector<std::uint64_t> u64_array(const json::Value& v, const char* key) {
+  std::vector<std::uint64_t> out;
+  if (const json::Value* a = v.find(key); a && a->is_array()) {
+    out.reserve(a->items().size());
+    for (const json::Value& x : a->items()) out.push_back(x.as_u64());
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value SubmitRequest::to_json() const {
+  json::Value arr = json::Value::array();
+  for (const sim::ExperimentSpec& spec : points)
+    arr.push_back(sim::spec_to_json(spec));
+  json::Value out = json::Value::object();
+  out["points"] = std::move(arr);
+  return out;
+}
+
+std::optional<SubmitRequest> SubmitRequest::from_json(const json::Value& v) {
+  const json::Value* points = v.find("points");
+  if (!points || !points->is_array() || points->items().empty())
+    return std::nullopt;
+  SubmitRequest req;
+  req.points.reserve(points->items().size());
+  for (const json::Value& p : points->items()) {
+    auto spec = sim::spec_from_json(p);
+    if (!spec) return std::nullopt;
+    req.points.push_back(std::move(*spec));
+  }
+  return req;
+}
+
+json::Value SubmitResponse::to_json() const {
+  json::Value out = json::Value::object();
+  out["job"] = job;
+  out["total"] = total;
+  out["cached"] = cached;
+  out["deduped"] = deduped;
+  out["complete"] = complete;
+  return out;
+}
+
+std::optional<SubmitResponse> SubmitResponse::from_json(
+    const json::Value& v) {
+  const json::Value* job = v.find("job");
+  const json::Value* total = v.find("total");
+  if (!job || !job->is_number() || !total || !total->is_number())
+    return std::nullopt;
+  SubmitResponse r;
+  r.job = job->as_u64();
+  r.total = total->as_u64();
+  if (const json::Value* c = v.find("cached")) r.cached = c->as_u64();
+  if (const json::Value* d = v.find("deduped")) r.deduped = d->as_u64();
+  if (const json::Value* c = v.find("complete")) r.complete = c->as_bool();
+  return r;
+}
+
+json::Value LeaseRequest::to_json() const {
+  json::Value out = json::Value::object();
+  out["worker"] = worker;
+  out["max"] = max;
+  return out;
+}
+
+std::optional<LeaseRequest> LeaseRequest::from_json(const json::Value& v) {
+  const json::Value* worker = v.find("worker");
+  if (!worker || !worker->is_string() || worker->as_string().empty())
+    return std::nullopt;
+  LeaseRequest r;
+  r.worker = worker->as_string();
+  if (const json::Value* m = v.find("max")) r.max = m->as_u64(1);
+  if (r.max == 0) r.max = 1;
+  return r;
+}
+
+json::Value LeaseResponse::to_json() const {
+  json::Value arr = json::Value::array();
+  for (const Lease& l : leases) {
+    json::Value e = json::Value::object();
+    e["lease"] = l.lease;
+    e["spec"] = sim::spec_to_json(l.spec);
+    if (!l.ckpt_path.empty()) {
+      e["ckpt_path"] = l.ckpt_path;
+      e["ckpt_interval"] = l.ckpt_interval;
+      e["ckpt_tag"] = l.ckpt_tag;
+    }
+    arr.push_back(std::move(e));
+  }
+  json::Value out = json::Value::object();
+  out["leases"] = std::move(arr);
+  out["idle_ms"] = idle_ms;
+  out["heartbeat_ms"] = heartbeat_ms;
+  out["shutdown"] = shutdown;
+  return out;
+}
+
+std::optional<LeaseResponse> LeaseResponse::from_json(const json::Value& v) {
+  const json::Value* leases = v.find("leases");
+  if (!leases || !leases->is_array()) return std::nullopt;
+  LeaseResponse r;
+  for (const json::Value& e : leases->items()) {
+    const json::Value* id = e.find("lease");
+    const json::Value* spec = e.find("spec");
+    if (!id || !id->is_number() || !spec) return std::nullopt;
+    auto decoded = sim::spec_from_json(*spec);
+    if (!decoded) return std::nullopt;
+    Lease l;
+    l.lease = id->as_u64();
+    l.spec = std::move(*decoded);
+    if (const json::Value* p = e.find("ckpt_path"))
+      l.ckpt_path = p->as_string();
+    if (const json::Value* i = e.find("ckpt_interval"))
+      l.ckpt_interval = i->as_u64();
+    if (const json::Value* t = e.find("ckpt_tag")) l.ckpt_tag = t->as_u64();
+    r.leases.push_back(std::move(l));
+  }
+  if (const json::Value* i = v.find("idle_ms")) r.idle_ms = i->as_u64(200);
+  if (const json::Value* h = v.find("heartbeat_ms"))
+    r.heartbeat_ms = h->as_u64(1000);
+  if (const json::Value* s = v.find("shutdown")) r.shutdown = s->as_bool();
+  return r;
+}
+
+json::Value HeartbeatRequest::to_json() const {
+  json::Value arr = json::Value::array();
+  for (const std::uint64_t id : leases) arr.push_back(id);
+  json::Value out = json::Value::object();
+  out["worker"] = worker;
+  out["leases"] = std::move(arr);
+  return out;
+}
+
+std::optional<HeartbeatRequest> HeartbeatRequest::from_json(
+    const json::Value& v) {
+  const json::Value* worker = v.find("worker");
+  if (!worker || !worker->is_string() || worker->as_string().empty())
+    return std::nullopt;
+  HeartbeatRequest r;
+  r.worker = worker->as_string();
+  r.leases = u64_array(v, "leases");
+  return r;
+}
+
+json::Value HeartbeatResponse::to_json() const {
+  json::Value arr = json::Value::array();
+  for (const std::uint64_t id : lost) arr.push_back(id);
+  json::Value out = json::Value::object();
+  out["lost"] = std::move(arr);
+  out["shutdown"] = shutdown;
+  return out;
+}
+
+std::optional<HeartbeatResponse> HeartbeatResponse::from_json(
+    const json::Value& v) {
+  HeartbeatResponse r;
+  r.lost = u64_array(v, "lost");
+  if (const json::Value* s = v.find("shutdown")) r.shutdown = s->as_bool();
+  return r;
+}
+
+json::Value ResultUpload::to_json() const {
+  json::Value out = json::Value::object();
+  out["worker"] = worker;
+  out["lease"] = lease;
+  out["result"] = sim::to_json(result);
+  return out;
+}
+
+std::optional<ResultUpload> ResultUpload::from_json(const json::Value& v) {
+  const json::Value* worker = v.find("worker");
+  const json::Value* lease = v.find("lease");
+  const json::Value* result = v.find("result");
+  if (!worker || !worker->is_string() || !lease || !lease->is_number() ||
+      !result)
+    return std::nullopt;
+  auto decoded = sim::result_from_json(*result);
+  if (!decoded) return std::nullopt;
+  ResultUpload r;
+  r.worker = worker->as_string();
+  r.lease = lease->as_u64();
+  r.result = std::move(*decoded);
+  return r;
+}
+
+json::Value JobStatus::to_json() const {
+  json::Value out = json::Value::object();
+  out["job"] = job;
+  out["total"] = total;
+  out["done"] = done;
+  out["complete"] = complete;
+  if (complete) {
+    json::Value arr = json::Value::array();
+    for (const sim::ExperimentResult& r : results)
+      arr.push_back(sim::to_json(r));
+    out["results"] = std::move(arr);
+  }
+  return out;
+}
+
+std::optional<JobStatus> JobStatus::from_json(const json::Value& v) {
+  const json::Value* job = v.find("job");
+  const json::Value* total = v.find("total");
+  if (!job || !job->is_number() || !total || !total->is_number())
+    return std::nullopt;
+  JobStatus s;
+  s.job = job->as_u64();
+  s.total = total->as_u64();
+  if (const json::Value* d = v.find("done")) s.done = d->as_u64();
+  if (const json::Value* c = v.find("complete")) s.complete = c->as_bool();
+  if (s.complete) {
+    const json::Value* results = v.find("results");
+    if (!results || !results->is_array()) return std::nullopt;
+    for (const json::Value& r : results->items()) {
+      auto decoded = sim::result_from_json(r);
+      if (!decoded) return std::nullopt;
+      s.results.push_back(std::move(*decoded));
+    }
+  }
+  return s;
+}
+
+}  // namespace csmt::svc

@@ -1,0 +1,168 @@
+#include "svc/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "net/http.hpp"
+#include "svc/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace csmt::svc {
+namespace {
+
+std::string default_name() {
+#if defined(__unix__) || defined(__APPLE__)
+  return "pid-" + std::to_string(static_cast<long long>(::getpid()));
+#else
+  return "worker";
+#endif
+}
+
+/// One JSON POST to the coordinator. nullopt = unreachable/dropped.
+std::optional<json::Value> rpc(const WorkerOptions& opt,
+                               const std::string& path,
+                               const json::Value& body) {
+  const auto res =
+      net::http_request(opt.host, opt.port, "POST", path, body.dump());
+  if (!res || res->status != 200) return std::nullopt;
+  return json::Value::parse(res->body);
+}
+
+/// Heartbeats one held lease every `period_ms` until told to stop. Sets
+/// `lost` if the coordinator reclaims the lease mid-run.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(const WorkerOptions& opt, std::uint64_t lease,
+                  std::uint64_t period_ms)
+      : opt_(opt), lease_(lease), period_ms_(period_ms ? period_ms : 1000) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  bool lost() const { return lost_.load(); }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                   [this] { return stop_; });
+      if (stop_) return;
+      lock.unlock();
+      HeartbeatRequest req;
+      req.worker = opt_.name;
+      req.leases = {lease_};
+      if (const auto body = rpc(opt_, "/heartbeat", req.to_json())) {
+        if (const auto resp = HeartbeatResponse::from_json(*body)) {
+          if (std::find(resp->lost.begin(), resp->lost.end(), lease_) !=
+              resp->lost.end())
+            lost_.store(true);
+        }
+      }
+      // Unreachable coordinator: keep trying — the point is still worth
+      // finishing, and the lease may survive if the outage is brief.
+      lock.lock();
+    }
+  }
+
+  const WorkerOptions& opt_;
+  const std::uint64_t lease_;
+  const std::uint64_t period_ms_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<bool> lost_{false};
+};
+
+}  // namespace
+
+Worker::Worker(WorkerOptions options) : options_(std::move(options)) {
+  if (options_.name.empty()) options_.name = default_name();
+  // The runner's own ckpt arming is for local sweeps; the coordinator's
+  // lease decides checkpointing here, so never double-arm.
+  options_.sweep.ckpt_interval = 0;
+  options_.sweep.progress = false;
+  options_.sweep.serve_telemetry = -1;
+}
+
+WorkerReport Worker::run() {
+  WorkerReport report;
+  sweep::SweepRunner runner(options_.sweep);
+  unsigned failures = 0;
+
+  while (!stop_.load()) {
+    LeaseRequest lr;
+    lr.worker = options_.name;
+    lr.max = options_.max_leases;
+    const auto body = rpc(options_, "/lease", lr.to_json());
+    if (!body) {
+      if (++failures >= options_.max_failures) {
+        report.unreachable = true;
+        return report;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      continue;
+    }
+    failures = 0;
+    const auto resp = LeaseResponse::from_json(*body);
+    if (!resp) continue;
+    if (resp->shutdown) {
+      report.shutdown = true;
+      return report;
+    }
+    if (resp->leases.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(resp->idle_ms));
+      continue;
+    }
+
+    for (const Lease& lease : resp->leases) {
+      if (stop_.load()) return report;
+      sim::ExperimentSpec spec = lease.spec;
+      spec.ckpt_path = lease.ckpt_path;
+      spec.ckpt_interval = lease.ckpt_interval;
+      spec.ckpt_tag = lease.ckpt_tag;
+
+      HeartbeatThread heartbeat(options_, lease.lease, resp->heartbeat_ms);
+      const sim::ExperimentResult result = runner.run_point(std::move(spec));
+
+      if (heartbeat.lost()) {
+        // The coordinator requeued us (e.g. a long stall tripped the TTL).
+        // Upload anyway: a late result for a not-yet-done point is still
+        // accepted, and a duplicate is answered kStale — both harmless.
+        ++report.lost;
+      }
+      ResultUpload up;
+      up.worker = options_.name;
+      up.lease = lease.lease;
+      up.result = result;
+      bool accepted = false;
+      for (unsigned attempt = 0; attempt < options_.max_failures; ++attempt) {
+        if (const auto ack = rpc(options_, "/result", up.to_json())) {
+          if (const json::Value* a = ack->find("accepted"))
+            accepted = a->as_bool();
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      if (accepted) ++report.completed;
+    }
+  }
+  return report;
+}
+
+}  // namespace csmt::svc

@@ -83,8 +83,8 @@ std::string canonical_encoding(const sim::ExperimentSpec& spec) {
   return out.str();
 }
 
-/// Checkpoint file ("<cache_dir>/ckpt/csmt-<16 hex digits>.ckpt") of a
-/// point, keyed like its result-cache entry.
+}  // namespace
+
 std::string ckpt_entry_path(const std::string& cache_dir,
                             std::uint64_t hash) {
   char buf[64];
@@ -92,8 +92,6 @@ std::string ckpt_entry_path(const std::string& cache_dir,
                 static_cast<unsigned long long>(hash));
   return (fs::path(cache_dir) / "ckpt" / buf).string();
 }
-
-}  // namespace
 
 std::vector<sim::ExperimentSpec> SweepSpec::expand() const {
   std::vector<sim::ExperimentSpec> points;
@@ -336,13 +334,10 @@ std::vector<sim::ExperimentResult> SweepRunner::run(
   return results;
 }
 
-std::optional<sim::ExperimentResult> SweepRunner::cache_load(
-    const sim::ExperimentSpec& spec) const {
-  if (options_.cache_dir.empty()) return std::nullopt;
-  // A traced point must actually simulate: the cached counters would be
-  // identical, but the side effect — the trace file — would not exist.
-  if (!spec.trace_path.empty()) return std::nullopt;
-  const fs::path path = fs::path(options_.cache_dir) / cache_entry_name(spec);
+std::optional<sim::ExperimentResult> cache_probe(
+    const std::string& cache_dir, const sim::ExperimentSpec& spec) {
+  if (cache_dir.empty()) return std::nullopt;
+  const fs::path path = fs::path(cache_dir) / cache_entry_name(spec);
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream text;
@@ -356,14 +351,21 @@ std::optional<sim::ExperimentResult> SweepRunner::cache_load(
   return result;
 }
 
-void SweepRunner::cache_store(const sim::ExperimentResult& result) const {
-  if (options_.cache_dir.empty()) return;
-  const fs::path path =
-      fs::path(options_.cache_dir) / cache_entry_name(result.spec);
-  // Write-then-rename so concurrent workers (or concurrent benches sharing
-  // a cache) never observe a torn entry.
-  const fs::path tmp = path.string() + ".tmp." +
-                       std::to_string(spec_hash(result.spec) & 0xffff);
+void cache_publish(const std::string& cache_dir,
+                   const sim::ExperimentResult& result) {
+  if (cache_dir.empty()) return;
+  const fs::path path = fs::path(cache_dir) / cache_entry_name(result.spec);
+  // Write-then-rename so no reader ever observes a torn entry. The tmp name
+  // carries the pid: in-process workers already serialize per point, but
+  // two *processes* racing the same entry (svc workers, concurrent benches
+  // sharing a cache dir) must not interleave writes into one tmp file —
+  // each renames its own complete file into place, last one wins.
+  fs::path tmp = path;
+#if defined(__unix__) || defined(__APPLE__)
+  tmp += ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+#else
+  tmp += ".tmp";
+#endif
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;
@@ -372,6 +374,45 @@ void SweepRunner::cache_store(const sim::ExperimentResult& result) const {
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) fs::remove(tmp, ec);
+}
+
+sim::ExperimentResult SweepRunner::run_point(sim::ExperimentSpec point) {
+  if (auto cached = cache_load(point)) {
+    ++counters_.cache_hits;
+    return *cached;
+  }
+  // Arm checkpointing from the runner's own options unless the caller (a
+  // coordinator lease) already stamped a parking spot onto the spec.
+  if (point.ckpt_path.empty() && options_.ckpt_interval > 0 &&
+      !options_.cache_dir.empty()) {
+    const std::uint64_t hash = spec_hash(point);
+    std::error_code ec;
+    fs::create_directories(fs::path(options_.cache_dir) / "ckpt", ec);
+    point.ckpt_interval = options_.ckpt_interval;
+    point.ckpt_path = ckpt_entry_path(options_.cache_dir, hash);
+    point.ckpt_tag = hash;
+  }
+  sim::ExperimentResult result = sim::run_experiment(point);
+  ++counters_.executed;
+  if (result.resumed_from_cycle > 0) ++counters_.resumed;
+  cache_store(result);
+  if (!point.ckpt_path.empty()) {
+    std::error_code ec;
+    fs::remove(point.ckpt_path, ec);
+  }
+  return result;
+}
+
+std::optional<sim::ExperimentResult> SweepRunner::cache_load(
+    const sim::ExperimentSpec& spec) const {
+  // A traced point must actually simulate: the cached counters would be
+  // identical, but the side effect — the trace file — would not exist.
+  if (!spec.trace_path.empty()) return std::nullopt;
+  return cache_probe(options_.cache_dir, spec);
+}
+
+void SweepRunner::cache_store(const sim::ExperimentResult& result) const {
+  cache_publish(options_.cache_dir, result);
 }
 
 }  // namespace csmt::sweep

@@ -109,6 +109,25 @@ std::uint64_t spec_hash(const sim::ExperimentSpec& spec);
 /// File name ("csmt-<16 hex digits>.json") of a point's cache entry.
 std::string cache_entry_name(const sim::ExperimentSpec& spec);
 
+/// Checkpoint file ("<cache_dir>/ckpt/csmt-<16 hex digits>.ckpt") of the
+/// point with spec-hash `hash`, keyed like its result-cache entry. The svc
+/// coordinator hands this path out in leases so a requeued point's next
+/// worker resumes from the dead worker's parked snapshot (DESIGN.md §15).
+std::string ckpt_entry_path(const std::string& cache_dir, std::uint64_t hash);
+
+/// Single-entry cache probe: the cached result for `spec` in `cache_dir`,
+/// or nullopt on a miss/mismatched entry. Safe against concurrent writers
+/// (entries are only ever renamed into place, never written in place).
+std::optional<sim::ExperimentResult> cache_probe(
+    const std::string& cache_dir, const sim::ExperimentSpec& spec);
+
+/// Atomically publishes `result` into `cache_dir` (write-tmp-then-rename
+/// with a pid-unique tmp name, so any number of processes can race the same
+/// entry and readers still only ever see a complete file). No-op on an
+/// empty dir or an unwritable path.
+void cache_publish(const std::string& cache_dir,
+                   const sim::ExperimentResult& result);
+
 class SweepRunner {
  public:
   /// Options from the environment (CSMT_JOBS, CSMT_CACHE_DIR).
@@ -123,6 +142,16 @@ class SweepRunner {
   /// window-size ablation); results arrive in `points` order.
   std::vector<sim::ExperimentResult> run(
       const std::vector<sim::ExperimentSpec>& points);
+
+  /// Runs one point on the calling thread with the runner's full cache and
+  /// fault-tolerance semantics: probe the result cache, execute on a miss
+  /// (arming --ckpt-interval checkpoints when configured, or honoring
+  /// ckpt_* fields already stamped on the spec — the svc worker path, where
+  /// the coordinator's lease carries the checkpoint location), publish to
+  /// the cache, and delete the completed point's checkpoint. This is the
+  /// entry point for remote job sources (DESIGN.md §15): the caller owns
+  /// the queue, the runner owns one point's lifecycle.
+  sim::ExperimentResult run_point(sim::ExperimentSpec point);
 
   const SweepOptions& options() const { return options_; }
   const SweepCounters& counters() const { return counters_; }

@@ -1,61 +1,19 @@
 #include "telemetry/server.hpp"
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <string>
-
-#if defined(__unix__) || defined(__APPLE__)
-#define CSMT_TELEMETRY_POSIX 1
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
+#include <mutex>
+#include <thread>
 
 namespace csmt::telemetry {
 
-#if CSMT_TELEMETRY_POSIX
-
 namespace {
-
-#ifndef MSG_NOSIGNAL
-#define MSG_NOSIGNAL 0  // macOS: rely on SO_NOSIGPIPE set at accept time
-#endif
-
-/// Blocking full write; false once the peer is gone.
-bool send_all(int fd, const char* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    data += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-bool send_all(int fd, const std::string& s) {
-  return send_all(fd, s.data(), s.size());
-}
-
-std::string http_response(const char* status, const char* content_type,
-                          const std::string& body) {
-  std::string out = "HTTP/1.1 ";
-  out += status;
-  out += "\r\nContent-Type: ";
-  out += content_type;
-  out += "\r\nAccess-Control-Allow-Origin: *\r\nConnection: close\r\n"
-         "Content-Length: " +
-         std::to_string(body.size()) + "\r\n\r\n";
-  out += body;
-  return out;
-}
 
 /// The embedded console: the same stream the standalone
 /// examples/fleet_console page renders, kept deliberately text-first (a
-/// monospace ops view, not a dashboard) so it has zero dependencies.
+/// monospace ops view, not a dashboard) so it has zero dependencies. When
+/// the serving process is an svc coordinator its svc.* counters light up
+/// the queue line (DESIGN.md §15).
 constexpr const char* kConsoleHtml = R"html(<!doctype html>
 <meta charset="utf-8">
 <title>csmt fleet console</title>
@@ -71,6 +29,7 @@ constexpr const char* kConsoleHtml = R"html(<!doctype html>
 </style>
 <h1>csmt fleet console <span id=link class=dim></span></h1>
 <div id=sweep class=dim>waiting for snapshots…</div>
+<div id=queue class=dim></div>
 <h2>runs</h2><table id=runs></table>
 <h2>counters</h2><table id=ctrs></table>
 <script>
@@ -92,6 +51,15 @@ function render(snap) {
     `| regimes busy=${c['sim.regime.busy'] ?? 0} idle=${c['sim.regime.idle'] ?? 0} ` +
     `mixed=${c['sim.regime.mixed'] ?? 0} | elapsed=${(g['sweep.elapsed_seconds'] ?? 0).toFixed(1)}s ` +
     `| snapshot #${snap.seq}`;
+  // Queue view: present only when the serving process is an svc
+  // coordinator (DESIGN.md §15).
+  document.getElementById('queue').textContent =
+    'svc.submitted' in c ?
+    `queue: ${g['svc.queued'] ?? 0} queued, ${g['svc.leased'] ?? 0} leased, ` +
+    `${g['svc.workers'] ?? 0} workers | done=${c['svc.completed'] ?? 0} ` +
+    `executed=${c['svc.executed'] ?? 0} cache_hits=${c['svc.cache_hits'] ?? 0} ` +
+    `deduped=${c['svc.deduped'] ?? 0} requeued=${c['svc.requeued'] ?? 0} ` +
+    `expired=${c['svc.leases_expired'] ?? 0}` : '';
   const runs = {};
   for (const [k, v] of Object.entries(g)) {
     const m = k.match(/^(run\.\d+\.(.*))\.([a-z_]+)$/);
@@ -128,168 +96,68 @@ es.onerror = () => { document.getElementById('link').textContent =
 </script>
 )html";
 
-}  // namespace
-
-bool Server::start(std::uint16_t port) {
-  if (running()) return true;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("csmt: telemetry socket");
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 16) < 0) {
-    std::fprintf(stderr, "csmt: cannot serve telemetry on port %u: %s\n",
-                 static_cast<unsigned>(port), std::strerror(errno));
-    ::close(fd);
-    return false;
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
-  stopping_.store(false);
-  was_enabled_ = registry_.enabled();
-  registry_.set_enabled(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  return true;
-}
-
-void Server::stop() {
-  if (!running()) return;
-  stopping_.store(true);
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<Conn> conns;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Unblock streaming handlers mid-send; fds are closed after the join so
-    // a concurrent handler can never see its number reused.
-    for (const Conn& c : conns_) ::shutdown(c.fd, SHUT_RDWR);
-    conns.swap(conns_);
-  }
-  for (Conn& c : conns) {
-    c.thread.join();
-    ::close(c.fd);
-  }
-  listen_fd_ = -1;
-  port_ = 0;
-  registry_.set_enabled(was_enabled_);
-}
-
-void Server::reap_finished() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (std::size_t i = 0; i < conns_.size();) {
-    if (conns_[i].done->load()) {
-      conns_[i].thread.join();
-      ::close(conns_[i].fd);
-      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
-    }
-  }
-}
-
-void Server::accept_loop() {
-  while (!stopping_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int r = ::poll(&pfd, 1, 200);
-    if (stopping_.load()) return;
-    reap_finished();
-    if (r <= 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-#ifdef SO_NOSIGPIPE
-    const int one = 1;
-    ::setsockopt(client, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
-#endif
-    Conn conn;
-    conn.fd = client;
-    conn.done = std::make_shared<std::atomic<bool>>(false);
-    auto done = conn.done;
-    conn.thread = std::thread([this, client, done] {
-      handle_client(client);
-      done->store(true);
-    });
-    std::lock_guard<std::mutex> lock(mu_);
-    conns_.push_back(std::move(conn));
-  }
-}
-
-void Server::handle_client(int fd) {
-  // Read just the request head; this server only ever answers GETs.
-  std::string req;
-  char buf[2048];
-  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    req.append(buf, static_cast<std::size_t>(n));
-  }
-  const std::size_t sp1 = req.find(' ');
-  const std::size_t sp2 = req.find(' ', sp1 + 1);
-  const std::string path = sp1 != std::string::npos && sp2 != std::string::npos
-                               ? req.substr(sp1 + 1, sp2 - sp1 - 1)
-                               : "";
-  if (req.compare(0, 4, "GET ") != 0) {
-    send_all(fd, http_response("405 Method Not Allowed", "text/plain",
-                               "GET only\n"));
-  } else if (path == "/metrics") {
-    send_all(fd, http_response("200 OK", "application/json",
-                               registry_.snapshot_json().dump(2) + "\n"));
-  } else if (path == "/events") {
-    serve_events(fd);
-  } else if (path == "/" || path == "/index.html") {
-    send_all(fd, http_response("200 OK", "text/html", kConsoleHtml));
-  } else {
-    send_all(fd, http_response("404 Not Found", "text/plain",
-                               "try /metrics, /events, or /\n"));
-  }
-  ::shutdown(fd, SHUT_RDWR);
-  // The fd itself is closed by the reaper (or stop()); closing it here
-  // would race a concurrent stop() handing the number to a new socket.
-}
-
-void Server::serve_events(int fd) {
-  if (!send_all(fd,
-                "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
-                "Cache-Control: no-cache\r\n"
-                "Access-Control-Allow-Origin: *\r\n"
-                "Connection: keep-alive\r\n\r\n")) {
+void serve_events(net::ClientConn& conn, Registry& registry,
+                  unsigned sse_interval_ms) {
+  if (!conn.send_raw("HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
+                     "Cache-Control: no-cache\r\n"
+                     "Access-Control-Allow-Origin: *\r\n"
+                     "Connection: keep-alive\r\n\r\n")) {
     return;
   }
-  while (!stopping_.load()) {
+  while (!conn.stopping()) {
     std::string event = "event: snapshot\ndata: ";
-    event += registry_.snapshot_json().dump();
+    event += registry.snapshot_json().dump();
     event += "\n\n";
-    if (!send_all(fd, event)) return;
+    if (!conn.send_raw(event)) return;
     // Sleep in short slices so stop() never waits a full interval.
-    for (unsigned slept = 0; slept < sse_interval_ms_ && !stopping_.load();
+    for (unsigned slept = 0; slept < sse_interval_ms && !conn.stopping();
          slept += 20) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
   }
 }
 
-#else  // !CSMT_TELEMETRY_POSIX
+}  // namespace
 
-bool Server::start(std::uint16_t) {
-  std::fprintf(stderr,
-               "csmt: telemetry serving is unavailable on this platform\n");
-  return false;
+bool handle_observability(const net::HttpRequest& req, net::ClientConn& conn,
+                          Registry& registry, unsigned sse_interval_ms) {
+  if (req.path != "/metrics" && req.path != "/events" && req.path != "/" &&
+      req.path != "/index.html") {
+    return false;
+  }
+  if (req.method != "GET") {
+    conn.respond("405 Method Not Allowed", "text/plain", "GET only\n");
+  } else if (req.path == "/metrics") {
+    conn.respond("200 OK", "application/json",
+                 registry.snapshot_json().dump(2) + "\n");
+  } else if (req.path == "/events") {
+    serve_events(conn, registry, sse_interval_ms);
+  } else {
+    conn.respond("200 OK", "text/html", kConsoleHtml);
+  }
+  return true;
 }
-void Server::stop() {}
-void Server::accept_loop() {}
-void Server::handle_client(int) {}
-void Server::serve_events(int) {}
 
-#endif
+bool Server::start(std::uint16_t port) {
+  if (running()) return true;
+  const bool ok = http_.start(port, [this](const net::HttpRequest& req,
+                                           net::ClientConn& conn) {
+    if (!handle_observability(req, conn, registry_, sse_interval_ms_)) {
+      conn.respond("404 Not Found", "text/plain",
+                   "try /metrics, /events, or /\n");
+    }
+  });
+  if (!ok) return false;
+  was_enabled_ = registry_.enabled();
+  registry_.set_enabled(true);
+  return true;
+}
+
+void Server::stop() {
+  if (!running()) return;
+  http_.stop();
+  registry_.set_enabled(was_enabled_);
+}
 
 std::uint16_t serve_global(std::uint16_t port) {
   static Server* server = new Server();  // lives until process exit

@@ -1,5 +1,6 @@
-// Embedded telemetry endpoint (DESIGN.md §12): a minimal HTTP/1.1 server
-// on 127.0.0.1 serving live registry snapshots.
+// Embedded telemetry endpoint (DESIGN.md §12): the observability paths of
+// the shared csmt::net HTTP component (DESIGN.md §15), serving live
+// registry snapshots on 127.0.0.1.
 //
 //   GET /metrics   one JSON snapshot of every counter/gauge/series
 //   GET /events    server-sent events: a "snapshot" event every
@@ -12,18 +13,25 @@
 // the CI telemetry smoke job). CORS is wide open (the metrics are
 // loopback-only operational counters) so the examples/fleet_console static
 // page works straight off the filesystem.
+//
+// The same three paths can be grafted onto any other csmt::net server via
+// handle_observability() — the svc coordinator does exactly that, so one
+// port serves both the sweep protocol and the fleet console.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
 
+#include "net/http.hpp"
 #include "telemetry/registry.hpp"
 
 namespace csmt::telemetry {
+
+/// Serves `req` if its path is one of the observability endpoints
+/// (/metrics, /events, / or /index.html); returns false for any other path
+/// so the caller can layer its own routes. GETs only: other methods on
+/// these paths answer 405 (and return true — the path was claimed).
+bool handle_observability(const net::HttpRequest& req, net::ClientConn& conn,
+                          Registry& registry, unsigned sse_interval_ms);
 
 class Server {
  public:
@@ -42,36 +50,18 @@ class Server {
   /// restores the registry's previous enabled state. Idempotent.
   void stop();
 
-  bool running() const { return listen_fd_ != -1; }
+  bool running() const { return http_.running(); }
   /// Actual bound port (resolves port 0), 0 when not running.
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return http_.port(); }
 
   /// Milliseconds between SSE snapshot events (default 250).
   void set_sse_interval_ms(unsigned ms) { sse_interval_ms_ = ms ? ms : 1; }
 
  private:
-  /// One accepted connection: its handler thread and a done flag the
-  /// accept loop uses to reap it (join + close) without blocking.
-  struct Conn {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-    int fd = -1;
-  };
-
-  void accept_loop();
-  void reap_finished();
-  void handle_client(int fd);
-  void serve_events(int fd);
-
   Registry& registry_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
+  net::HttpServer http_;
   unsigned sse_interval_ms_ = 250;
   bool was_enabled_ = false;
-  std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::mutex mu_;            ///< guards conns_
-  std::vector<Conn> conns_;  ///< live + finished-but-unreaped connections
 };
 
 /// Starts the process-wide server once (first caller wins; later calls

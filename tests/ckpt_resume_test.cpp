@@ -202,6 +202,42 @@ TEST(CkptResume, KilledRunResumesBitIdenticalAcrossGrid) {
   }
 }
 
+// Regression: the low-end memory controller's occupancy horizon
+// (LocalMemoryBackend::busy_until_) is part of the snapshot. A checkpoint
+// taken while the channel is backed up — easy to hit at larger scales,
+// where the miss stream keeps the controller saturated — used to restore
+// with an instantly-free channel, so post-resume misses completed early
+// and the run drifted off the reference ~one memory round-trip later.
+TEST(CkptResume, ResumeUnderMemoryChannelBacklogIsBitIdentical) {
+  ExperimentSpec spec;
+  spec.workload = "swim";
+  spec.arch = core::ArchKind::kSmt2;
+  spec.chips = 1;
+  spec.scale = 6;
+  const ExperimentResult ref = run_experiment(spec);
+  ASSERT_FALSE(ref.stats.timed_out);
+
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "membacklog.ckpt").string();
+  fs::remove(path);
+  // Snapshot at cycle 10000 (inside swim's initialization bursts, where the
+  // controller runs a multi-cycle backlog), kill shortly after.
+  const Cycle interval = 10000;
+  const RunStats partial = run_killed(spec, 20000, interval, path, kTag);
+  ASSERT_TRUE(partial.timed_out);
+  ASSERT_TRUE(fs::exists(path));
+
+  ExperimentSpec resume = spec;
+  resume.ckpt_interval = interval;
+  resume.ckpt_path = path;
+  resume.ckpt_tag = kTag;
+  const ExperimentResult resumed = run_experiment(resume);
+  ASSERT_GT(resumed.resumed_from_cycle, 0u);
+  EXPECT_TRUE(resumed.validated);
+  expect_stats_equal(resumed.stats, ref.stats, "memory-channel backlog");
+  fs::remove(path);
+}
+
 TEST(CkptResume, ForeignOrCorruptCheckpointIsIgnoredNotFatal) {
   ExperimentSpec spec;
   spec.workload = "swim";

@@ -1,6 +1,5 @@
 // Tests for multiprogrammed runs through the unified Machine::run(Mix)
-// entry point, the timing address-space isolation they rely on, and the
-// deprecated wrappers' parity with the new API.
+// entry point and the timing address-space isolation they rely on.
 #include <gtest/gtest.h>
 
 #include "isa/builder.hpp"
@@ -88,38 +87,6 @@ TEST(MultiProgram, SingleJobMatchesPlainRun) {
   EXPECT_EQ(multi.makespan, plain.cycles);
   EXPECT_EQ(multi.combined.committed_useful, plain.committed_useful);
 }
-
-// The deprecated entry points must stay exact forwarders of run(Mix) for
-// the release they survive; this is the one test that still calls them.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(MultiProgram, DeprecatedWrappersMatchMixRun) {
-  const isa::Program p = counted_loop(250);
-  MachineConfig mc;
-  mc.arch = core::arch_preset(core::ArchKind::kSmt2);
-
-  Machine m1(mc);
-  mem::PagedMemory mem1;
-  const MultiRunStats unified =
-      m1.run(Mix::single(p, mem1, 0, mc.total_threads()));
-
-  Machine m2(mc);
-  mem::PagedMemory mem2;
-  const RunStats legacy_single = m2.run(p, mem2, 0);
-  EXPECT_EQ(legacy_single.cycles, unified.combined.cycles);
-  EXPECT_EQ(legacy_single.committed_useful, unified.combined.committed_useful);
-  EXPECT_EQ(legacy_single.fetched, unified.combined.fetched);
-
-  Machine m3(mc);
-  mem::PagedMemory mem3;
-  const MultiRunStats legacy_jobs =
-      m3.run_jobs({{&p, &mem3, 0, mc.total_threads()}});
-  EXPECT_EQ(legacy_jobs.makespan, unified.makespan);
-  EXPECT_EQ(legacy_jobs.job_finish, unified.job_finish);
-  EXPECT_EQ(legacy_jobs.combined.committed_useful,
-            unified.combined.committed_useful);
-}
-#pragma GCC diagnostic pop
 
 TEST(MultiProgram, SmtAbsorbsMixBetterThanFa) {
   // The headline of extension E1 at test scale: the SMT2 makespan for a

@@ -146,7 +146,7 @@ std::vector<std::string> counter_lines(const std::string& path,
 }
 
 TEST(KernelEquivalence, RunJobsTracesRunningThreadsLikeRun) {
-  // Satellite 1: run() and run_jobs() share one scheduler loop, so a
+  // Single-job mixes and Mix::single share one scheduler loop, so a
   // single-job mix must emit the exact running_threads counter series a
   // plain run of the same program does.
   ProgramBuilder b("loop");

@@ -5,9 +5,15 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "sim/report.hpp"
 #include "sweep/sweep.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 namespace csmt::sweep {
 namespace {
@@ -217,6 +223,78 @@ TEST(SweepHash, DistinguishesEveryAxis) {
   // And the hash is stable for equal specs.
   EXPECT_EQ(hash_of(base), h);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(SweepCache, ConcurrentProcessPublishersNeverTearAnEntry) {
+  // Regression for the multi-process cache hazard: two processes racing
+  // cache_publish on the SAME entry used to share one tmp file name, so
+  // their writes interleaved and a torn entry could be renamed into place.
+  // With pid-unique tmp names each process renames its own complete file;
+  // a reader must only ever observe a miss or a complete, parseable entry.
+  const fs::path dir = scratch_dir("sweep_race");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  sim::ExperimentSpec spec;
+  spec.workload = "swim";
+  spec.arch = core::ArchKind::kFa2;
+  spec.chips = 1;
+  spec.scale = 1;
+  const sim::ExperimentResult result = sim::run_experiment(spec);
+
+  // Forked (not spawned) children are safe here: this test binary runs no
+  // background threads, and the children only publish and _exit.
+  constexpr int kRounds = 200;
+  std::vector<pid_t> children;
+  for (int c = 0; c < 2; ++c) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      for (int i = 0; i < kRounds; ++i) cache_publish(dir.string(), result);
+      ::_exit(0);
+    }
+    children.push_back(pid);
+  }
+
+  // While they race, hammer the reader side: every observation of the
+  // entry file must parse and decode — never a torn interleaving.
+  const fs::path entry = dir / cache_entry_name(spec);
+  std::size_t live = children.size();
+  std::size_t reads = 0;
+  while (live > 0) {
+    for (auto it = children.begin(); it != children.end();) {
+      int status = 0;
+      if (::waitpid(*it, &status, WNOHANG) == *it) {
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+        it = children.erase(it);
+        --live;
+      } else {
+        ++it;
+      }
+    }
+    std::ifstream in(entry, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (text.str().empty()) continue;
+    ++reads;
+    const auto doc = json::Value::parse(text.str());
+    ASSERT_TRUE(doc) << "torn cache entry observed mid-race";
+    ASSERT_TRUE(sim::result_from_json(*doc));
+  }
+  EXPECT_GT(reads, 0u);
+
+  // Settled state: the entry probes clean and no tmp litter survives.
+  const auto probed = cache_probe(dir.string(), spec);
+  ASSERT_TRUE(probed);
+  expect_identical(*probed, result);
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_EQ(e.path().extension(), ".json")
+        << "leftover tmp file: " << e.path();
+  }
+  fs::remove_all(dir);
+}
+#endif  // __unix__ || __APPLE__
 
 }  // namespace
 }  // namespace csmt::sweep
